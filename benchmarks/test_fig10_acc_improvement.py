@@ -1,0 +1,24 @@
+"""Figure 10: accuracy improvement of SpLPG over vanilla baselines.
+
+Paper shape: SpLPG clearly beats PSGD-PA, RandomTMA and SuperTMA (up to
+~400% relative Hits improvement in the paper's runs).
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_acc_improvement(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig10(
+        datasets=("cora",), p_values=(4,), gnn_types=("sage",),
+        scale=scale))
+    report("Figure 10: accuracy improvement of SpLPG over baselines", rows,
+           ["dataset", "gnn", "p", "baseline", "splpg_hits",
+            "baseline_hits", "improvement"])
+
+    if not strict(scale):
+        return
+    for row in rows:
+        assert row["splpg_hits"] > row["baseline_hits"], row
+        assert row["improvement"] > 0, row

@@ -1,0 +1,30 @@
+"""Figure 11: SpLPG recovers (most of) the centralized accuracy.
+
+Paper shape: across datasets, SpLPG's Hits@K lands close to centralized
+training — occasionally a bit below on small graphs where
+sparsification bites (the GCN/Citeseer caveat in the paper).
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_splpg_accuracy(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig11(
+        datasets=("cora", "citeseer"), p_values=(4,),
+        gnn_types=("gcn", "sage"), scale=scale))
+    report("Figure 11: accuracy of SpLPG vs centralized", rows,
+           ["dataset", "gnn", "p", "centralized_hits", "splpg_hits",
+            "gap"])
+
+    if not strict(scale):
+        return
+    for row in rows:
+        # SpLPG should land in the centralized ballpark — well above
+        # the collapse of the vanilla distributed baselines.  GCN on
+        # small graphs is the paper's own caveat (sparsification bites
+        # when there are few edges to begin with), so it gets a looser
+        # floor than GraphSAGE.
+        floor = 0.45 if row["gnn"] == "sage" else 0.25
+        assert row["splpg_hits"] >= floor * row["centralized_hits"], row

@@ -1,0 +1,36 @@
+"""Figure 12: ablation of full-neighbors and global negative samples.
+
+Paper shape: SpLPG-- (neither) << SpLPG- (full neighbors only) <
+SpLPG ~ SpLPG+ (both).  The two mechanisms together explain the
+performance-drop problem.
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_ablation(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig12(
+        datasets=("cora", "citeseer"), p=4, scale=scale))
+    report("Figure 12: impact of full-neighbors and negative samples",
+           rows, ["dataset", "variant", "hits", "auc"])
+
+    if not strict(scale):
+        return
+    for dataset in ("cora", "citeseer"):
+        ladder = {r["variant"]: r["hits"] for r in rows
+                  if r["dataset"] == dataset}
+        # Complete sharing always beats pure local training...
+        assert ladder["SpLPG+"] > ladder["SpLPG--"], dataset
+        # ...and SpLPG stays within reach of complete sharing.
+        assert ladder["SpLPG"] >= 0.5 * ladder["SpLPG+"], dataset
+        # SpLPG itself beats (or at worst statistically ties) the
+        # no-sharing variant; the paper notes it can fall slightly
+        # short on small sparse graphs, which is what the tolerance
+        # absorbs.
+        assert ladder["SpLPG"] >= 0.9 * ladder["SpLPG--"], dataset
+    cora = {r["variant"]: r["hits"] for r in rows
+            if r["dataset"] == "cora"}
+    # On the denser graph the full ladder separates strictly.
+    assert cora["SpLPG"] > cora["SpLPG--"]

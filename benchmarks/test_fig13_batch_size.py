@@ -1,0 +1,22 @@
+"""Figure 13: impact of batch size on SpLPG.
+
+Paper shape: per-epoch communication decreases as batch size grows
+(shared neighbors are transferred once per batch), while accuracy is
+flat over a wide range and only degrades at extreme batch sizes.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_batch_size(benchmark, scale, report):
+    batch_sizes = (32, 64, 128, 256)
+    rows = run_once(benchmark, lambda: run_fig13(
+        dataset="cora", batch_sizes=batch_sizes, p=4, scale=scale))
+    report("Figure 13: batch size vs comm cost and accuracy (SpLPG)",
+           rows, ["dataset", "batch_size", "comm_gb_per_epoch", "hits"])
+
+    comms = [r["comm_gb_per_epoch"] for r in rows]
+    # Communication per epoch decreases monotonically with batch size.
+    assert all(a > b for a, b in zip(comms, comms[1:])), comms

@@ -1,0 +1,28 @@
+"""Figure 14: SpLPG is robust across GNN architectures.
+
+Paper shape: for GCN, GraphSAGE, GAT and GATv2, SpLPG converges to a
+similar accuracy level as centralized training, while the vanilla
+baseline stays below.
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig14
+
+
+def test_fig14_gnn_models(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig14(
+        datasets=("cora",), p=4, scale=scale))
+    printable = [{k: v for k, v in r.items() if k != "val_curve"}
+                 for r in rows]
+    report("Figure 14: accuracy across GNN models (final Hits)",
+           printable, ["dataset", "gnn", "framework", "hits"])
+
+    if not strict(scale):
+        return
+    by = {(r["gnn"], r["framework"]): r for r in rows}
+    for gnn in ("gcn", "sage", "gat", "gatv2"):
+        splpg = by[(gnn, "SpLPG")]
+        vanilla = by[(gnn, "PSGD-PA")]
+        assert splpg["hits"] >= vanilla["hits"], gnn
+        assert len(splpg["val_curve"]) >= 2

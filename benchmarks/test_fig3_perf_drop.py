@@ -1,0 +1,25 @@
+"""Figure 3: accuracy drop of state-of-the-art distributed methods.
+
+Paper shape: PSGD-PA, LLCG, RandomTMA and SuperTMA all fall clearly
+below centralized training; RandomTMA is typically the worst.
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_perf_drop(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig3(
+        datasets=("cora", "citeseer"), p_values=(4,), scale=scale))
+    report("Figure 3: accuracy of SOTA distributed methods (GraphSAGE)",
+           rows, ["dataset", "p", "framework", "hits", "auc"])
+
+    if not strict(scale):
+        return
+    by = {(r["dataset"], r["framework"]): r["hits"] for r in rows}
+    for dataset in ("cora", "citeseer"):
+        central = by[(dataset, "Centralized")]
+        for fw in ("PSGD-PA", "RandomTMA", "SuperTMA"):
+            assert by[(dataset, fw)] < central, (
+                f"{fw} should degrade vs centralized on {dataset}")

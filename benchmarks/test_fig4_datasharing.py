@@ -1,0 +1,39 @@
+"""Figure 4: complete data-sharing recovers accuracy at huge comm cost.
+
+Paper shape: PSGD-PA+/RandomTMA+/SuperTMA+ reach (near-)centralized
+accuracy, but graph-data transfer per epoch is enormous compared to the
+zero transfer of the vanilla variants.
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig3, run_fig4
+
+
+def test_fig4_datasharing(benchmark, scale, report):
+    def body():
+        plus_rows = run_fig4(datasets=("cora",), p_values=(4,), scale=scale)
+        vanilla_rows = run_fig3(datasets=("cora",), p_values=(4,),
+                                scale=scale,
+                                frameworks=("psgd_pa", "random_tma",
+                                            "super_tma"))
+        return plus_rows, vanilla_rows
+
+    plus_rows, vanilla_rows = run_once(benchmark, body)
+    report("Figure 4: accuracy + comm of complete data-sharing variants",
+           plus_rows,
+           ["dataset", "p", "framework", "hits", "comm_gb_per_epoch"])
+
+    if not strict(scale):
+        return
+    central = next(r for r in plus_rows if r["framework"] == "Centralized")
+    plus = [r for r in plus_rows if r["framework"].endswith("+")]
+    vanilla_best = max(r["hits"] for r in vanilla_rows)
+
+    # Sharing closes (most of) the gap to centralized ...
+    for row in plus:
+        assert row["hits"] >= vanilla_best * 0.9
+    assert max(r["hits"] for r in plus) >= 0.6 * central["hits"]
+    # ... and costs real communication.
+    for row in plus:
+        assert row["comm_gb_per_epoch"] > 0

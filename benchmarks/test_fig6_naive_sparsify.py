@@ -1,0 +1,28 @@
+"""Figure 6: naive sparsify-then-train destroys link prediction.
+
+Paper shape: training on the sparsified graph drops accuracy by a large
+factor (up to 80%) because most positive samples vanish with the
+removed edges.
+"""
+
+from conftest import run_once, strict
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_naive_sparsify(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig6(
+        datasets=("cora", "citeseer"), scale=scale))
+    report("Figure 6: accuracy w/ vs w/o input-graph sparsification",
+           rows, ["dataset", "variant", "hits", "edges_retained"])
+
+    if not strict(scale):
+        return
+    for dataset in ("cora", "citeseer"):
+        dense = next(r for r in rows if r["dataset"] == dataset
+                     and r["variant"] == "w/o sparsification")
+        sparse = next(r for r in rows if r["dataset"] == dataset
+                      and r["variant"] == "w/ sparsification")
+        assert sparse["edges_retained"] < 0.25
+        assert sparse["hits"] < dense["hits"], (
+            f"sparsified training should underperform on {dataset}")

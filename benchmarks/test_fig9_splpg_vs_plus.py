@@ -1,0 +1,22 @@
+"""Figure 9: communication saving of SpLPG over SpLPG+.
+
+Paper shape: with alpha = 0.15, sparsifying the shared subgraphs saves
+roughly 60-85% of graph-data transfer across datasets and partition
+counts.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_splpg_vs_plus(benchmark, scale, report):
+    rows = run_once(benchmark, lambda: run_fig9(
+        datasets=("cora", "citeseer", "pubmed"), p_values=(4, 8),
+        scale=scale))
+    report("Figure 9: comm saving of SpLPG over SpLPG+", rows,
+           ["dataset", "p", "splpg_gb", "splpg_plus_gb", "saving"])
+
+    for row in rows:
+        assert row["splpg_gb"] < row["splpg_plus_gb"], row
+        assert 0.3 < row["saving"] < 1.0, row

@@ -1,0 +1,26 @@
+"""Table II: running time of the effective-resistance sparsifier.
+
+Paper shape: seconds for small graphs, growing roughly linearly with
+edge count and only weakly with the partition count p.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table2
+
+
+def test_table2_sparsify_time(benchmark, scale, report):
+    datasets = ("citeseer", "cora", "actor", "chameleon", "pubmed")
+    rows = run_once(benchmark, lambda: run_table2(
+        datasets=datasets, p_values=(4, 8, 16), scale=scale))
+    report("Table II: sparsification running time (seconds)", rows,
+           ["dataset", "num_edges", "sparsify_s_p4", "sparsify_s_p8",
+            "sparsify_s_p16"])
+
+    for row in rows:
+        for p in (4, 8, 16):
+            assert row[f"sparsify_s_p{p}"] > 0
+    # Runtime grows with graph size: the largest dataset costs more
+    # than the smallest at the same p.
+    by_edges = sorted(rows, key=lambda r: r["num_edges"])
+    assert by_edges[-1]["sparsify_s_p4"] >= by_edges[0]["sparsify_s_p4"] * 0.5

@@ -1,0 +1,24 @@
+"""Table III: impact of the sparsification level alpha.
+
+Paper shape: smaller alpha -> more edges removed -> bigger
+communication saving but lower accuracy; alpha = 0.15 balances the
+trade-off (~68% saving at near-peak accuracy).
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table3
+
+
+def test_table3_sparsification_level(benchmark, scale, report):
+    alphas = (0.05, 0.10, 0.15, 0.20)
+    rows = run_once(benchmark, lambda: run_table3(
+        dataset="cora", alphas=alphas, p_values=(4,), scale=scale))
+    report("Table III: sparsification level vs saving and accuracy",
+           rows, ["alpha", "p", "comm_saving", "hits"])
+
+    savings = {r["alpha"]: r["comm_saving"] for r in rows}
+    # Cost saving decreases monotonically as alpha grows.
+    ordered = [savings[a] for a in alphas]
+    assert all(a > b for a, b in zip(ordered, ordered[1:])), ordered
+    assert savings[0.05] > 0.5

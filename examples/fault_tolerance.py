@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Fault tolerance: training SpLPG with lossy workers.
+
+Synchronous data-parallel training in real clusters loses worker
+contributions to crashes, preemptions and stragglers.  This example
+injects failures — each worker's contribution to a synchronization
+round is dropped with probability q — and shows how link-prediction
+accuracy degrades (gracefully) as q grows, since each round simply
+averages over the survivors.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro import TrainConfig, run_framework, split_edges
+from repro.graph import synthetic_lp_graph
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    graph = synthetic_lp_graph(num_nodes=700, target_edges=3000,
+                               feature_dim=48, num_communities=10,
+                               intra_fraction=0.9, rng=rng)
+    split = split_edges(graph, rng=rng)
+    print(f"Graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"4 workers, gradient averaging\n")
+
+    print(f"{'failure prob':>12} {'Hits@50':>8} {'AUC':>7} "
+          f"{'dropped batches':>16}")
+    print("-" * 48)
+    for q in (0.0, 0.1, 0.3, 0.5):
+        config = TrainConfig(
+            gnn_type="sage", hidden_dim=48, num_layers=2, fanouts=(10, 5),
+            batch_size=128, epochs=15, hits_k=50, eval_every=3, seed=2,
+            worker_failure_prob=q,
+        )
+        result = run_framework("splpg", split, num_parts=4, config=config,
+                               rng=np.random.default_rng(7))
+        print(f"{q:>12.1f} {result.test.hits:>8.3f} "
+              f"{result.test.auc:>7.3f} "
+              f"{result.dropped_contributions:>16d}")
+
+    print("\nReading: synchronous SGD with partial participation degrades "
+          "smoothly —\neach failed contribution wastes one worker-batch of "
+          "compute but the\nsurvivors' average still makes progress.")
+
+
+if __name__ == "__main__":
+    main()

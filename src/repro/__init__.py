@@ -1,0 +1,65 @@
+"""repro — reproduction of "Demystifying Distributed Training of Graph
+Neural Networks for Link Prediction" (ICDCS 2025).
+
+The package implements SpLPG and every system it depends on from
+scratch on numpy: graph storage, METIS-style partitioning,
+effective-resistance sparsification, a GNN autograd stack
+(GCN/GraphSAGE/GAT/GATv2), mini-batch samplers, and a simulated
+distributed runtime with byte-exact communication accounting.
+
+Quickstart
+----------
+>>> import repro
+>>> graph = repro.load_dataset("cora", scale=0.2, feature_dim=64)
+>>> split = repro.split_edges(graph)
+>>> result = repro.SpLPG(num_parts=4).fit(split)   # doctest: +SKIP
+"""
+
+from .core import (
+    FRAMEWORK_NAMES,
+    FRAMEWORKS,
+    PAPER_LABELS,
+    FrameworkSpec,
+    SpLPG,
+    build_trainer,
+    run_framework,
+)
+from .distributed import TrainConfig, TrainResult, train_centralized
+from .eval import EvalResult, Evaluator, auc, hits_at_k
+from .graph import (
+    DATASET_NAMES,
+    Graph,
+    dataset_spec,
+    load_dataset,
+    split_edges,
+)
+from .partition import partition_graph
+from .sparsify import sparsify_with_level, spielman_srivastava_sparsify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FRAMEWORK_NAMES",
+    "FRAMEWORKS",
+    "PAPER_LABELS",
+    "FrameworkSpec",
+    "SpLPG",
+    "build_trainer",
+    "run_framework",
+    "TrainConfig",
+    "TrainResult",
+    "train_centralized",
+    "EvalResult",
+    "Evaluator",
+    "auc",
+    "hits_at_k",
+    "DATASET_NAMES",
+    "Graph",
+    "dataset_spec",
+    "load_dataset",
+    "split_edges",
+    "partition_graph",
+    "sparsify_with_level",
+    "spielman_srivastava_sparsify",
+    "__version__",
+]

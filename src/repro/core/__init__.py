@@ -1,0 +1,28 @@
+"""The paper's contribution: SpLPG and every compared framework."""
+
+from .frameworks import (
+    FRAMEWORK_NAMES,
+    FRAMEWORKS,
+    PAPER_LABELS,
+    FrameworkSpec,
+    build_trainer,
+    run_framework,
+)
+from .autotune import AlphaSuggestion, predicted_saving, suggest_alpha
+from .llcg import GlobalCorrection
+from .splpg import PreparedData, SpLPG
+
+__all__ = [
+    "FRAMEWORK_NAMES",
+    "FRAMEWORKS",
+    "PAPER_LABELS",
+    "FrameworkSpec",
+    "build_trainer",
+    "run_framework",
+    "AlphaSuggestion",
+    "predicted_saving",
+    "suggest_alpha",
+    "GlobalCorrection",
+    "PreparedData",
+    "SpLPG",
+]

@@ -1,0 +1,64 @@
+"""Simulated distributed runtime: comm accounting, stores, workers, sync."""
+
+from .comm import (
+    BYTES_PER_EDGE,
+    BYTES_PER_EDGE_WEIGHT,
+    BYTES_PER_NODE_ID,
+    FEATURE_ITEMSIZE,
+    GB,
+    CommMeter,
+    CommRecord,
+)
+from .centralized import train_centralized
+from .commodel import CommEstimate, estimate_epoch_comm
+from .inference import DistributedScorer, InferenceResult
+from .timeline import (
+    EpochTimeline,
+    HardwareModel,
+    estimate_epoch_time,
+    timeline_from_result,
+)
+from .store import RemoteGraphStore, SparsifiedRemoteStore
+from .sync import (
+    average_gradients,
+    average_models,
+    broadcast_model,
+    sync_bytes_per_worker,
+)
+from .trainer import (
+    DistributedTrainer,
+    EpochStats,
+    TrainConfig,
+    TrainResult,
+)
+from .views import WorkerGraphView
+
+__all__ = [
+    "BYTES_PER_EDGE",
+    "BYTES_PER_EDGE_WEIGHT",
+    "BYTES_PER_NODE_ID",
+    "FEATURE_ITEMSIZE",
+    "GB",
+    "CommMeter",
+    "CommRecord",
+    "train_centralized",
+    "CommEstimate",
+    "estimate_epoch_comm",
+    "DistributedScorer",
+    "InferenceResult",
+    "EpochTimeline",
+    "HardwareModel",
+    "estimate_epoch_time",
+    "timeline_from_result",
+    "RemoteGraphStore",
+    "SparsifiedRemoteStore",
+    "average_gradients",
+    "average_models",
+    "broadcast_model",
+    "sync_bytes_per_worker",
+    "DistributedTrainer",
+    "EpochStats",
+    "TrainConfig",
+    "TrainResult",
+    "WorkerGraphView",
+]

@@ -1,0 +1,104 @@
+"""Centralized (single-machine) training — the accuracy reference.
+
+Every figure in the paper compares distributed frameworks against the
+model trained centrally on the entire graph; this is that baseline.
+It reuses the same samplers, loss and evaluation protocol with a
+single worker that owns everything, so differences against distributed
+runs isolate exactly the partitioning/negative-sampling effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..eval.evaluator import Evaluator
+from ..graph.graph import Graph
+from ..graph.splits import EdgeSplit
+from ..nn.loss import bce_with_logits
+from ..nn.models import build_model
+from ..nn.optim import Adam
+from ..sampling.loader import EdgeBatchLoader
+from ..sampling.negative import PerSourceUniformNegativeSampler
+from ..sampling.neighbor import NeighborSampler
+from .comm import CommRecord
+from .trainer import EpochStats, TrainConfig, TrainResult
+
+
+def train_centralized(
+    split: EdgeSplit,
+    config: TrainConfig,
+    graph: Optional[Graph] = None,
+    framework: str = "centralized",
+) -> TrainResult:
+    """Train one model on the full graph (no partitioning, no comm).
+
+    ``graph`` overrides the message-passing/negative-sampling graph —
+    used by the Figure 6 experiment, which trains centrally on a
+    *sparsified* graph to show why naive sparsify-then-train fails.
+    """
+    graph = split.train_graph if graph is None else graph
+    if graph.features is None:
+        raise ValueError("training requires node features")
+    rng = np.random.default_rng(config.seed)
+    model = build_model(
+        config.gnn_type, graph.feature_dim, config.hidden_dim,
+        num_layers=config.num_layers, predictor=config.predictor,
+        dropout=config.dropout, num_heads=config.num_heads,
+        seed=config.seed)
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    sampler = NeighborSampler(config.fanouts, rng=rng)
+    negative_sampler = PerSourceUniformNegativeSampler(graph, rng=rng)
+    positives = graph.edge_list()
+    loader = EdgeBatchLoader(positives, config.batch_size, rng=rng)
+    evaluator = Evaluator(split, config.fanouts, k=config.hits_k,
+                          rng=np.random.default_rng(config.seed + 7919))
+
+    history: List[EpochStats] = []
+    best_val, best_epoch = -1.0, -1
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    evals_since_best = 0
+    for epoch in range(config.epochs):
+        losses = []
+        for batch in loader:
+            neg = negative_sampler.sample(batch[:, 0])
+            pairs = np.concatenate([batch, neg], axis=0)
+            labels = np.concatenate([np.ones(batch.shape[0]),
+                                     np.zeros(neg.shape[0])])
+            seeds, inverse = np.unique(pairs.ravel(), return_inverse=True)
+            comp_graph = sampler.sample(graph, seeds)
+            feats = graph.features[comp_graph.input_nodes]
+            pair_idx = inverse.reshape(-1, 2)
+            scores = model(comp_graph, feats, pair_idx[:, 0], pair_idx[:, 1])
+            loss = bce_with_logits(scores, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+
+        val = None
+        if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+            val = evaluator.validate(model)
+            if val.hits > best_val:
+                best_val = val.hits
+                best_state = model.state_dict()
+                best_epoch = epoch
+                evals_since_best = 0
+            else:
+                evals_since_best += 1
+        history.append(EpochStats(epoch=epoch,
+                                  mean_loss=float(np.mean(losses)),
+                                  comm=CommRecord(), val=val))
+        if (config.patience and val is not None
+                and evals_since_best >= config.patience):
+            break
+        if config.lr_decay < 1.0 and (epoch + 1) % config.lr_decay_every == 0:
+            optimizer.lr *= config.lr_decay
+
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    test = evaluator.test(model)
+    return TrainResult(framework=framework, test=test, best_epoch=best_epoch,
+                       history=history, comm_total=CommRecord(),
+                       num_workers=1)

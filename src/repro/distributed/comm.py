@@ -1,0 +1,106 @@
+"""Communication accounting.
+
+The paper's efficiency metric (Figures 4, 8, 9, 13, Table III) is the
+total cumulative amount of graph data transferred from the master
+server to all workers during one training epoch, in gigabytes.  The
+:class:`CommMeter` charges every remote access a worker makes:
+
+* **feature bytes** — one feature vector (``feature_dim * 4`` bytes,
+  float32 on the wire) per remote node per mini-batch.  Nodes are
+  deduplicated within a batch ("the features of the same node need to
+  be transferred only once per batch", Section V-C) but not across
+  batches, matching the paper's accounting.
+* **structure bytes** — adjacency shipped for remote neighbor queries:
+  16 bytes per edge (two int64 endpoints) plus 8 per weight on
+  sparsified (weighted) subgraphs, plus 8 bytes per queried node id.
+* **sync bytes** — gradient/model exchange for synchronization.  The
+  paper's communication-cost plots measure *graph data* only, so sync
+  traffic is tracked in a separate bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+BYTES_PER_EDGE = 16
+BYTES_PER_EDGE_WEIGHT = 8
+BYTES_PER_NODE_ID = 8
+FEATURE_ITEMSIZE = 4
+GB = float(1024 ** 3)
+
+
+@dataclass
+class CommRecord:
+    """Byte totals for one epoch."""
+
+    feature_bytes: int = 0
+    structure_bytes: int = 0
+    sync_bytes: int = 0
+
+    @property
+    def graph_data_bytes(self) -> int:
+        """What the paper plots: feature + structure transfer."""
+        return self.feature_bytes + self.structure_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.graph_data_bytes + self.sync_bytes
+
+    def __iadd__(self, other: "CommRecord") -> "CommRecord":
+        self.feature_bytes += other.feature_bytes
+        self.structure_bytes += other.structure_bytes
+        self.sync_bytes += other.sync_bytes
+        return self
+
+
+@dataclass
+class CommMeter:
+    """Cumulative communication ledger with per-epoch granularity."""
+
+    current: CommRecord = field(default_factory=CommRecord)
+    epochs: List[CommRecord] = field(default_factory=list)
+
+    # -- charging -------------------------------------------------------
+
+    def charge_features(self, num_nodes: int, feature_dim: int) -> None:
+        self.current.feature_bytes += (
+            int(num_nodes) * int(feature_dim) * FEATURE_ITEMSIZE)
+
+    def charge_structure(self, num_edges: int, num_queried_nodes: int,
+                         weighted: bool = False) -> None:
+        per_edge = BYTES_PER_EDGE + (BYTES_PER_EDGE_WEIGHT if weighted else 0)
+        self.current.structure_bytes += (
+            int(num_edges) * per_edge
+            + int(num_queried_nodes) * BYTES_PER_NODE_ID)
+
+    def charge_sync(self, nbytes: int) -> None:
+        self.current.sync_bytes += int(nbytes)
+
+    # -- epoch bookkeeping ----------------------------------------------
+
+    def end_epoch(self) -> CommRecord:
+        """Close the current epoch's record and start a fresh one."""
+        record = self.current
+        self.epochs.append(record)
+        self.current = CommRecord()
+        return record
+
+    # -- summaries --------------------------------------------------------
+
+    def total(self) -> CommRecord:
+        total = CommRecord()
+        for rec in self.epochs:
+            total += rec
+        total += self.current
+        return total
+
+    def graph_data_gb_per_epoch(self) -> List[float]:
+        return [rec.graph_data_bytes / GB for rec in self.epochs]
+
+    def mean_graph_data_gb(self) -> float:
+        """Average graph-data GB per completed epoch (the paper's axis)."""
+        if not self.epochs:
+            return self.current.graph_data_bytes / GB
+        return (sum(rec.graph_data_bytes for rec in self.epochs)
+                / len(self.epochs) / GB)

@@ -1,0 +1,143 @@
+"""Analytical communication model.
+
+Predicts a framework's expected graph-data transfer per epoch from
+partition statistics alone — no training run needed.  Useful for
+capacity planning ("how much will p=16 cost on this graph?") and used
+by tests as an independent cross-check of the byte meter: the
+prediction and the measured ledger must agree to within a small factor.
+
+The model follows the paper's accounting (Section III-B): for each
+mini-batch a worker pays features + structure for every node of the
+computational graph that is not locally stored.  We estimate, per
+worker and per batch:
+
+* the expected number of *seed* nodes (positive endpoints + negative
+  endpoints) falling in remote partitions,
+* the expansion of each remote seed through ``fanouts`` on either the
+  full graph (complete data sharing) or the sparsified copies (SpLPG),
+  capped by the relevant neighborhood sizes,
+* one feature vector and one adjacency answer per remote node touched,
+  deduplicated within the batch via a coupon-collector correction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..partition.partitioned import PartitionedGraph
+from .comm import (
+    BYTES_PER_EDGE,
+    BYTES_PER_EDGE_WEIGHT,
+    BYTES_PER_NODE_ID,
+    FEATURE_ITEMSIZE,
+    GB,
+)
+
+
+@dataclass(frozen=True)
+class CommEstimate:
+    """Predicted per-epoch communication."""
+
+    feature_gb: float
+    structure_gb: float
+
+    @property
+    def graph_data_gb(self) -> float:
+        return self.feature_gb + self.structure_gb
+
+
+def _dedup_expected_unique(draws: float, pool: float) -> float:
+    """Expected distinct items after ``draws`` uniform draws from a
+    ``pool`` (the within-batch deduplication correction)."""
+    if pool <= 0 or draws <= 0:
+        return 0.0
+    return pool * (1.0 - np.exp(-draws / pool))
+
+
+def estimate_epoch_comm(
+    partitioned: PartitionedGraph,
+    fanouts: Sequence[int],
+    batch_size: int,
+    remote: str = "sparsified",
+    alpha: float = 0.15,
+    global_negatives: bool = True,
+    positive_mode: str = "local",
+) -> CommEstimate:
+    """Predict graph-data GB per epoch for one framework configuration.
+
+    Parameters mirror the trainer's: ``remote`` is ``"none"``,
+    ``"full"`` or ``"sparsified"``; ``alpha`` scales remote degree for
+    the sparsified case; ``positive_mode`` matches
+    :class:`~repro.distributed.trainer.DistributedTrainer`.
+    """
+    if remote == "none":
+        return CommEstimate(0.0, 0.0)
+    graph = partitioned.full
+    feature_dim = graph.feature_dim
+    n = graph.num_nodes
+    mean_degree = 2.0 * graph.num_edges / max(n, 1)
+    # Effective branching per hop, capped by the mean degree.
+    branching = [min(f, mean_degree) if f >= 0 else mean_degree
+                 for f in fanouts]
+    # Degree seen when expanding through a sparsified partition.
+    sparse_scale = alpha if remote == "sparsified" else 1.0
+
+    feature_bytes = 0.0
+    structure_bytes = 0.0
+    for part in range(partitioned.num_parts):
+        if positive_mode == "owned_cover":
+            pos_edges = partitioned.owned_edges(part).shape[0]
+        else:
+            pos_edges = partitioned.local_graph(part).num_edges
+        if pos_edges == 0:
+            continue
+        batches = max(1, int(np.ceil(pos_edges / batch_size)))
+        per_batch_pos = pos_edges / batches
+
+        owned = np.count_nonzero(partitioned.assignment == part)
+        remote_frac = 1.0 - owned / n
+
+        # Seeds per batch: 2 positive endpoints + 1 negative source
+        # (local positive endpoint) + 1 negative destination.
+        pos_seeds = 2.0 * per_batch_pos
+        neg_dst = per_batch_pos if global_negatives else 0.0
+
+        if positive_mode == "owned_cover":
+            # Positive endpoints can be foreign (cross edges / random
+            # partitions): estimate by the partition's remote fraction.
+            remote_pos_seeds = pos_seeds * remote_frac
+        else:
+            # Local-positive regimes: endpoints are locally stored.
+            remote_pos_seeds = 0.0
+        remote_neg_seeds = neg_dst * remote_frac
+
+        # Expansion: each remote seed pulls a tree of remote nodes.
+        # Remote positive seeds expand at full fidelity; remote negative
+        # seeds expand through the configured remote store.
+        def tree_size(scale: float) -> float:
+            total, level = 0.0, 1.0
+            for b in reversed(branching):
+                level *= max(b * scale, 0.0)
+                total += level
+            return total
+
+        remote_nodes_per_batch = (
+            remote_pos_seeds * (1.0 + tree_size(1.0))
+            + remote_neg_seeds * (1.0 + tree_size(sparse_scale)))
+        # Dedup within the batch against the remote node pool.
+        pool = max(n - owned, 1)
+        unique_remote = _dedup_expected_unique(remote_nodes_per_batch, pool)
+
+        per_edge = BYTES_PER_EDGE + (
+            BYTES_PER_EDGE_WEIGHT if remote == "sparsified" else 0)
+        mean_remote_degree = mean_degree * sparse_scale
+        feature_bytes += (batches * unique_remote
+                          * feature_dim * FEATURE_ITEMSIZE)
+        structure_bytes += (batches * unique_remote
+                            * (mean_remote_degree * per_edge
+                               + BYTES_PER_NODE_ID))
+    return CommEstimate(feature_gb=feature_bytes / GB,
+                        structure_gb=structure_bytes / GB)

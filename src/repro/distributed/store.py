@@ -1,0 +1,117 @@
+"""Master-side graph stores.
+
+The master server owns the full graph and (for SpLPG) the sparsified
+copies of every partition, exposed to workers through a shared-memory
+abstraction (the paper implements this with PyTorch's
+``shared_memory``; we simulate it in-process).  Every structure answer
+and feature fetch served to a worker is charged to that worker's
+:class:`~repro.distributed.comm.CommMeter` — shared memory on a single
+multi-GPU box still crosses host/device boundaries, and in the
+multi-machine setting it is genuine network traffic, which is exactly
+what the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..sampling.blocks import GraphNeighborSource
+from .comm import CommMeter
+
+
+class RemoteGraphStore:
+    """Full-graph store: the complete data-sharing strategy.
+
+    Serves exact neighbor lists and features of any node.  Used by the
+    ``+`` variants (PSGD-PA+, RandomTMA+, SuperTMA+, SpLPG+).
+
+    ``complete = True`` tells worker views that this store can fill in
+    the parts of a *locally stored* node's neighbor list that the
+    partition lost, charging only the missing edges (paper Section
+    III-B: workers "obtain the full k-hop neighbors ... when they are
+    not locally available").
+    """
+
+    weighted = False
+    complete = True
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._source = GraphNeighborSource(graph)
+
+    def neighbors_batch(self, nodes: np.ndarray, meter: Optional[CommMeter]
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        nbrs, weights, offsets = self._source.neighbors_batch(nodes)
+        if meter is not None:
+            meter.charge_structure(num_edges=nbrs.size,
+                                   num_queried_nodes=nodes.size,
+                                   weighted=self.weighted)
+        return nbrs, weights, offsets
+
+    def fetch_features(self, nodes: np.ndarray,
+                       meter: Optional[CommMeter]) -> np.ndarray:
+        feats = self.graph.features[nodes]
+        if meter is not None:
+            meter.charge_features(nodes.shape[0], feats.shape[1])
+        return feats
+
+
+class SparsifiedRemoteStore:
+    """Sparsified-partition store: SpLPG's shared memory.
+
+    Remote structure queries are answered from the *sparsified* copy of
+    the owning partition (Algorithm 1 line 14), so each answer carries
+    far fewer edges; the per-edge payload includes the
+    Spielman-Srivastava weight.  Feature vectors are always exact —
+    sparsification drops edges, never features.
+    """
+
+    weighted = True
+    complete = False  # sparsified copies cannot complete local lists
+
+    def __init__(self, full_graph: Graph, sparsified: List[Graph],
+                 assignment: np.ndarray) -> None:
+        self.full_graph = full_graph
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        self._sources = [GraphNeighborSource(g) for g in sparsified]
+
+    def neighbors_batch(self, nodes: np.ndarray, meter: Optional[CommMeter]
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        owners = self.assignment[nodes]
+        nbr_chunks: List[np.ndarray] = []
+        w_chunks: List[np.ndarray] = []
+        counts = np.zeros(nodes.size, dtype=np.int64)
+        # Group queried nodes by owning partition and answer each group
+        # from that partition's sparsified copy.
+        for part in np.unique(owners):
+            sel = np.flatnonzero(owners == part)
+            nbrs, weights, offsets = self._sources[part].neighbors_batch(
+                nodes[sel])
+            counts[sel] = np.diff(offsets)
+            nbr_chunks.append((sel, nbrs, weights, offsets))
+        total = int(counts.sum())
+        out_nbrs = np.empty(total, dtype=np.int64)
+        out_w = np.empty(total, dtype=np.float64)
+        out_offsets = np.concatenate([[0], np.cumsum(counts)])
+        for sel, nbrs, weights, offsets in nbr_chunks:
+            for j, node_pos in enumerate(sel):
+                lo, hi = offsets[j], offsets[j + 1]
+                dst_lo = out_offsets[node_pos]
+                out_nbrs[dst_lo:dst_lo + (hi - lo)] = nbrs[lo:hi]
+                out_w[dst_lo:dst_lo + (hi - lo)] = weights[lo:hi]
+        if meter is not None:
+            meter.charge_structure(num_edges=total,
+                                   num_queried_nodes=nodes.size,
+                                   weighted=True)
+        return out_nbrs, out_w, out_offsets
+
+    def fetch_features(self, nodes: np.ndarray,
+                       meter: Optional[CommMeter]) -> np.ndarray:
+        feats = self.full_graph.features[nodes]
+        if meter is not None:
+            meter.charge_features(nodes.shape[0], feats.shape[1])
+        return feats

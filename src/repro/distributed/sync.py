@@ -1,0 +1,120 @@
+"""Model synchronization: gradient averaging and model averaging.
+
+Algorithm 1 (lines 29-30) synchronizes by averaging worker gradients
+every mini-batch; the baselines use periodic model averaging (FedAvg
+style).  SpLPG supports both — the paper reports that their prediction
+performance is "more or less the same" and uses model averaging for
+the headline numbers.
+
+Sync traffic is charged to each worker's meter in the ``sync`` bucket
+using a selectable topology cost model (ring all-reduce by default,
+parameter-server optional) — see :func:`sync_bytes_per_worker`.
+Parameters travel as float32.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn.models import LinkPredictionModel
+from .comm import CommMeter
+
+
+def average_gradients(
+    models: Sequence[LinkPredictionModel],
+    meters: Optional[Sequence[CommMeter]] = None,
+    participating: Optional[Sequence[bool]] = None,
+    topology: str = "allreduce",
+) -> None:
+    """All-reduce gradients in place (Algorithm 1 line 29).
+
+    ``participating`` masks workers that produced no batch this round
+    (their gradients are absent); the average runs over participants.
+    After the call every model holds the same averaged gradient, so
+    identical optimizer states take identical steps.
+    """
+    if participating is None:
+        participating = [True] * len(models)
+    active = [m for m, ok in zip(models, participating) if ok]
+    if not active:
+        return
+    param_lists = [m.parameters() for m in active]
+    for group in zip(*param_lists):
+        grads = [p.grad for p in group if p.grad is not None]
+        if not grads:
+            continue
+        mean = sum(grads) / len(active)
+        for p in group:
+            p.grad = mean.copy()
+    # Everyone, participant or not, receives the averaged gradient.
+    reference = active[0]
+    state = {name: p.grad for name, p in reference.named_parameters()}
+    for model, ok in zip(models, participating):
+        if ok or model is reference:
+            continue
+        for name, p in model.named_parameters():
+            g = state[name]
+            p.grad = None if g is None else g.copy()
+    _charge_sync(models, meters, topology)
+
+
+def average_models(
+    models: Sequence[LinkPredictionModel],
+    meters: Optional[Sequence[CommMeter]] = None,
+    topology: str = "allreduce",
+) -> None:
+    """FedAvg-style model averaging [40]: every worker's weights are
+    replaced by the element-wise mean."""
+    if not models:
+        return
+    state_dicts = [m.state_dict() for m in models]
+    averaged = {
+        name: np.mean([sd[name] for sd in state_dicts], axis=0)
+        for name in state_dicts[0]
+    }
+    for m in models:
+        m.load_state_dict(averaged)
+    _charge_sync(models, meters, topology)
+
+
+def broadcast_model(source: LinkPredictionModel,
+                    targets: Sequence[LinkPredictionModel]) -> None:
+    """Copy ``source`` weights into every target (Algorithm 1 line 16)."""
+    state = source.state_dict()
+    for t in targets:
+        t.load_state_dict(state)
+
+
+def sync_bytes_per_worker(param_nbytes: int, num_workers: int,
+                          topology: str = "allreduce") -> int:
+    """Bytes one worker sends+receives in a synchronization round.
+
+    * ``allreduce`` — ring all-reduce: each worker moves
+      ``2 (p-1)/p`` times the parameter payload (reduce-scatter +
+      all-gather), the standard NCCL cost model.
+    * ``parameter_server`` — one upload plus one download of the full
+      payload per worker.
+    """
+    if num_workers <= 1:
+        return 0
+    if topology == "allreduce":
+        return int(2 * param_nbytes * (num_workers - 1) / num_workers)
+    if topology == "parameter_server":
+        return int(2 * param_nbytes)
+    raise ValueError(
+        f"unknown topology {topology!r}; choose 'allreduce' or "
+        f"'parameter_server'")
+
+
+def _charge_sync(models: Sequence[LinkPredictionModel],
+                 meters: Optional[Sequence[CommMeter]],
+                 topology: str = "allreduce") -> None:
+    if meters is None or not models:
+        return
+    per_worker = sync_bytes_per_worker(models[0].parameter_nbytes(),
+                                       len(models), topology)
+    for meter in meters:
+        if meter is not None:
+            meter.charge_sync(per_worker)

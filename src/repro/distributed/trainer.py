@@ -1,0 +1,449 @@
+"""The synchronous distributed training loop (Algorithm 1).
+
+:class:`DistributedTrainer` simulates a cluster of ``p`` workers in a
+deterministic, sequential event loop.  Each round, every worker that
+still has a mini-batch this epoch:
+
+1. draws positive samples from its partition,
+2. draws negative samples from its configured candidate space
+   (local-only, or global via the shared store),
+3. builds the computational graph through its
+   :class:`~repro.distributed.views.WorkerGraphView` (remote accesses
+   are charged to its communication meter),
+4. computes the loss and backpropagates.
+
+Synchronization is either per-round gradient averaging or periodic
+model averaging.  Per-epoch validation follows the paper's protocol:
+the synchronized model is scored on the validation split, and the
+weights with the best validation Hits@K are the ones tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..eval.evaluator import EvalResult, Evaluator
+from ..graph.splits import EdgeSplit
+from ..nn.loss import bce_with_logits
+from ..nn.models import LinkPredictionModel, build_model
+from ..nn.optim import Adam
+from ..partition.partitioned import PartitionedGraph
+from ..sampling.loader import EdgeBatchLoader
+from ..sampling.negative import (
+    DegreeWeightedNegativeSampler,
+    InBatchNegativeSampler,
+    PerSourceUniformNegativeSampler,
+)
+from ..sampling.neighbor import NeighborSampler
+from .comm import GB, CommMeter, CommRecord
+from .sync import average_gradients, average_models, broadcast_model
+from .views import WorkerGraphView
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters shared by every training framework.
+
+    Defaults follow the paper (Section V-A): 3-layer GNN, hidden 256,
+    fanouts 25/10/5, batch 256, Adam with lr 1e-3, MLP edge predictor.
+    Scaled-down runs override ``hidden_dim``/``epochs`` for speed.
+    """
+
+    gnn_type: str = "sage"
+    hidden_dim: int = 256
+    num_layers: int = 3
+    fanouts: Sequence[int] = (25, 10, 5)
+    predictor: str = "mlp"
+    batch_size: int = 256
+    lr: float = 1e-3
+    epochs: int = 20
+    dropout: float = 0.0
+    num_heads: int = 1
+    # Training-time negative sampling strategy: "uniform" (paper's
+    # per-source uniform), "degree" (PinSage-style, ∝ degree^0.75) or
+    # "in_batch" (recycle batch destinations).
+    negative_sampler: str = "uniform"
+    sync: str = "grad"            # "grad" or "model"
+    sync_every_batches: int = 0   # 0 = once per epoch (model averaging)
+    sync_topology: str = "allreduce"  # or "parameter_server"
+    cache_remote_features: bool = False  # epoch-scoped remote feature cache
+    # Failure injection: probability that a worker's contribution to a
+    # synchronization round is lost (crash/straggler drop).  The round
+    # proceeds with the survivors — partial participation, as in
+    # fault-tolerant synchronous SGD.
+    worker_failure_prob: float = 0.0
+    hits_k: int = 100
+    eval_every: int = 1
+    # Early stopping: stop after `patience` consecutive evaluations
+    # without validation improvement (0 disables).
+    patience: int = 0
+    # Multiplicative learning-rate decay applied every `lr_decay_every`
+    # epochs (1.0 disables).
+    lr_decay: float = 1.0
+    lr_decay_every: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sync not in ("model", "grad"):
+            raise ValueError("sync must be 'model' or 'grad'")
+        if len(self.fanouts) != self.num_layers:
+            raise ValueError("need one fanout per layer")
+        if not 0.0 <= self.worker_failure_prob < 1.0:
+            raise ValueError("worker_failure_prob must be in [0, 1)")
+        if self.patience < 0:
+            raise ValueError("patience must be >= 0")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+        if self.lr_decay_every < 1:
+            raise ValueError("lr_decay_every must be >= 1")
+        if self.negative_sampler not in ("uniform", "degree", "in_batch"):
+            raise ValueError(
+                "negative_sampler must be 'uniform', 'degree' or "
+                "'in_batch'")
+        if self.sync_topology not in ("allreduce", "parameter_server"):
+            raise ValueError(
+                "sync_topology must be 'allreduce' or 'parameter_server'")
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training record."""
+
+    epoch: int
+    mean_loss: float
+    comm: CommRecord
+    val: Optional[EvalResult] = None
+    rounds: int = 0
+    mfg_edges: int = 0  # message-flow edges computed (all workers)
+
+
+@dataclass
+class TrainResult:
+    """Outcome of one training run."""
+
+    framework: str
+    test: EvalResult
+    best_epoch: int
+    history: List[EpochStats] = field(default_factory=list)
+    comm_total: CommRecord = field(default_factory=CommRecord)
+    num_workers: int = 1
+    dropped_contributions: int = 0
+
+    @property
+    def graph_data_gb_per_epoch(self) -> float:
+        """Mean graph-data GB per epoch across all workers (paper's
+        communication-cost metric)."""
+        epochs = max(len(self.history), 1)
+        return self.comm_total.graph_data_bytes / epochs / GB
+
+    def val_curve(self) -> List[float]:
+        return [s.val.hits for s in self.history if s.val is not None]
+
+    def summary(self) -> str:
+        """Human-readable report of the run (accuracy + comm ledger)."""
+        total = self.comm_total
+        epochs = max(len(self.history), 1)
+        lines = [
+            f"framework: {self.framework}",
+            f"workers:   {self.num_workers}",
+            f"epochs:    {len(self.history)} (best: {self.best_epoch})",
+            f"test:      Hits@{self.test.k}={self.test.hits:.4f}, "
+            f"AUC={self.test.auc:.4f}",
+            "communication per epoch:",
+            f"  features:  {total.feature_bytes / epochs / 2**20:.3f} MB",
+            f"  structure: {total.structure_bytes / epochs / 2**20:.3f} MB",
+            f"  sync:      {total.sync_bytes / epochs / 2**20:.3f} MB",
+        ]
+        if self.dropped_contributions:
+            lines.append(
+                f"dropped worker contributions: "
+                f"{self.dropped_contributions}")
+        return "\n".join(lines)
+
+
+class _Worker:
+    """Per-worker state: model replica, optimizer, samplers, meter."""
+
+    def __init__(
+        self,
+        part: int,
+        view: WorkerGraphView,
+        model: LinkPredictionModel,
+        config: TrainConfig,
+        positive_edges: np.ndarray,
+        negative_candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        self.part = part
+        self.view = view
+        self.model = model
+        self.optimizer = Adam(model.parameters(), lr=config.lr)
+        self.sampler = NeighborSampler(config.fanouts, rng=rng)
+        full_graph = view.partitioned.full
+        if config.negative_sampler == "degree":
+            self.negative_sampler = DegreeWeightedNegativeSampler(
+                full_graph, candidates=negative_candidates, rng=rng)
+        elif config.negative_sampler == "in_batch":
+            self.negative_sampler = InBatchNegativeSampler(full_graph,
+                                                           rng=rng)
+        else:
+            self.negative_sampler = PerSourceUniformNegativeSampler(
+                full_graph, candidates=negative_candidates, rng=rng)
+        self._in_batch = config.negative_sampler == "in_batch"
+        self.loader = EdgeBatchLoader(positive_edges, config.batch_size,
+                                      rng=rng)
+        self.rng = rng
+
+    def train_batch(self, batch: np.ndarray) -> tuple:
+        """Returns ``(loss_value, mfg_edges)`` for the batch."""
+        if self._in_batch:
+            neg = self.negative_sampler.sample(batch)
+        else:
+            neg = self.negative_sampler.sample(batch[:, 0])
+        pairs = np.concatenate([batch, neg], axis=0)
+        labels = np.concatenate([np.ones(batch.shape[0]),
+                                 np.zeros(neg.shape[0])])
+        seeds, inverse = np.unique(pairs.ravel(), return_inverse=True)
+        comp_graph = self.sampler.sample(self.view, seeds)
+        features = self.view.fetch_features(comp_graph.input_nodes)
+        pair_idx = inverse.reshape(-1, 2)
+        scores = self.model(comp_graph, features,
+                            pair_idx[:, 0], pair_idx[:, 1])
+        loss = bce_with_logits(scores, labels)
+        self.optimizer.zero_grad()
+        loss.backward()
+        mfg_edges = sum(b.num_edges for b in comp_graph.blocks)
+        return loss.item(), mfg_edges
+
+
+class DistributedTrainer:
+    """Runs Algorithm 1 for any framework configuration.
+
+    The framework-specific pieces are injected: the partitioned graph
+    (strategy + mirroring already applied), one remote store shared by
+    all workers (or ``None``), and the negative candidate space per
+    worker.  ``correction_hook``, when given, runs after every
+    synchronization round with the synchronized model — this is how
+    LLCG's global correction step is implemented.
+    """
+
+    def __init__(
+        self,
+        framework: str,
+        split: EdgeSplit,
+        partitioned: PartitionedGraph,
+        config: TrainConfig,
+        remote_store=None,
+        global_negatives: bool = False,
+        correction_hook=None,
+        positive_mode: str = "local",
+    ) -> None:
+        if positive_mode not in ("local", "owned_cover"):
+            raise ValueError(
+                f"positive_mode must be 'local' or 'owned_cover', "
+                f"got {positive_mode!r}")
+        self.framework = framework
+        self.split = split
+        self.partitioned = partitioned
+        self.config = config
+        self.remote_store = remote_store
+        self.correction_hook = correction_hook
+        self.positive_mode = positive_mode
+        self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
+        self.evaluator = Evaluator(
+            split, config.fanouts, k=config.hits_k,
+            rng=np.random.default_rng(config.seed + 7919))
+
+        master_rng = np.random.default_rng(config.seed)
+        feature_dim = split.train_graph.feature_dim
+        reference = build_model(
+            config.gnn_type, feature_dim, config.hidden_dim,
+            num_layers=config.num_layers, predictor=config.predictor,
+            dropout=config.dropout, num_heads=config.num_heads,
+            seed=config.seed)
+
+        self.workers: List[_Worker] = []
+        for part in range(partitioned.num_parts):
+            view = WorkerGraphView(
+                partitioned, part, remote=remote_store,
+                meter=self.meters[part],
+                cache_remote_features=config.cache_remote_features)
+            model = build_model(
+                config.gnn_type, feature_dim, config.hidden_dim,
+                num_layers=config.num_layers, predictor=config.predictor,
+                dropout=config.dropout, num_heads=config.num_heads,
+                seed=config.seed)
+            if global_negatives:
+                candidates = view.global_candidate_nodes()
+            else:
+                candidates = view.local_candidate_nodes()
+            positives = self._worker_positive_edges(part)
+            worker_rng = np.random.default_rng(
+                master_rng.integers(0, 2**63 - 1))
+            self.workers.append(_Worker(
+                part, view, model, config, positives, candidates, worker_rng))
+        broadcast_model(reference, [w.model for w in self.workers])
+
+    # ------------------------------------------------------------------
+
+    def _worker_positive_edges(self, part: int) -> np.ndarray:
+        """Positive training edges for worker ``part``.
+
+        ``positive_mode="local"``: edges the worker stores.  Mirrored
+        partitions see every edge incident to an owned node (SpLPG
+        trains cross-partition edges on both sides); induced partitions
+        only see fully-internal edges — the lost cross-partition
+        positives are part of the vanilla baselines' information loss.
+
+        ``positive_mode="owned_cover"``: the complete data-sharing
+        strategy.  Each graph edge is assigned to exactly one worker
+        (its lower endpoint's owner), so the cluster jointly covers
+        every positive edge each epoch exactly as centralized training
+        does — remote neighborhoods/features for the non-local pieces
+        are fetched from the master (and paid for).
+        """
+        if self.positive_mode == "owned_cover":
+            owned = self.partitioned.owned_edges(part)
+            if owned.shape[0]:
+                return owned
+        local = self.partitioned.local_graph(part).edge_list()
+        if local.shape[0] == 0:
+            # Degenerate partition (tiny graph + unlucky random
+            # assignment): fall back to the ownership cover so the
+            # worker still has something to iterate.
+            local = self.partitioned.owned_edges(part)
+        return local
+
+    # ------------------------------------------------------------------
+
+    def train(self) -> TrainResult:
+        config = self.config
+        models = [w.model for w in self.workers]
+        history: List[EpochStats] = []
+        best_val = -1.0
+        best_state: Optional[Dict[str, np.ndarray]] = None
+        best_epoch = -1
+        failure_rng = np.random.default_rng(config.seed + 40177)
+        dropped_contributions = 0
+        evals_since_best = 0
+
+        for epoch in range(config.epochs):
+            if config.cache_remote_features:
+                for worker in self.workers:
+                    worker.view.clear_feature_cache()
+            iterators = [iter(w.loader) for w in self.workers]
+            exhausted = [False] * len(self.workers)
+            losses: List[float] = []
+            batches_since_sync = 0
+            epoch_rounds = 0
+            epoch_mfg_edges = 0
+            while not all(exhausted):
+                participating = []
+                for i, (worker, it) in enumerate(zip(self.workers, iterators)):
+                    if exhausted[i]:
+                        participating.append(False)
+                        continue
+                    batch = next(it, None)
+                    if batch is None:
+                        exhausted[i] = True
+                        participating.append(False)
+                        continue
+                    if (config.worker_failure_prob
+                            and failure_rng.random()
+                            < config.worker_failure_prob):
+                        # The worker crashed this round: its batch is
+                        # consumed but its gradient never reaches the
+                        # synchronization step.
+                        dropped_contributions += 1
+                        participating.append(False)
+                        continue
+                    loss_value, batch_edges = worker.train_batch(batch)
+                    losses.append(loss_value)
+                    epoch_mfg_edges += batch_edges
+                    participating.append(True)
+                epoch_rounds += 1
+                if not any(participating):
+                    # Nothing reached the synchronizer this round
+                    # (exhausted loaders and/or injected failures).
+                    continue
+                if config.sync == "grad":
+                    average_gradients(models, self.meters, participating,
+                                      topology=config.sync_topology)
+                    for worker, ok in zip(self.workers, participating):
+                        worker.optimizer.step()
+                else:
+                    for worker, ok in zip(self.workers, participating):
+                        if ok:
+                            worker.optimizer.step()
+                    batches_since_sync += 1
+                    if (config.sync_every_batches
+                            and batches_since_sync >= config.sync_every_batches):
+                        average_models(models, self.meters,
+                                       topology=config.sync_topology)
+                        batches_since_sync = 0
+                        self._run_correction()
+            if config.sync == "model" and (
+                    not config.sync_every_batches or batches_since_sync):
+                average_models(models, self.meters,
+                               topology=config.sync_topology)
+                self._run_correction()
+            elif config.sync == "grad":
+                # Under per-round gradient averaging the replicas are
+                # already synchronized; the server-side correction
+                # (LLCG) runs once per epoch, the same cadence as the
+                # default model-averaging round.
+                self._run_correction()
+
+            comm = CommRecord()
+            for meter in self.meters:
+                comm += meter.end_epoch()
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+
+            val = None
+            if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+                val = self.evaluator.validate(models[0])
+                if val.hits > best_val:
+                    best_val = val.hits
+                    best_state = models[0].state_dict()
+                    best_epoch = epoch
+                    evals_since_best = 0
+                else:
+                    evals_since_best += 1
+            history.append(EpochStats(epoch=epoch, mean_loss=mean_loss,
+                                      comm=comm, val=val,
+                                      rounds=epoch_rounds,
+                                      mfg_edges=epoch_mfg_edges))
+
+            if (config.patience and val is not None
+                    and evals_since_best >= config.patience):
+                break
+            if (config.lr_decay < 1.0
+                    and (epoch + 1) % config.lr_decay_every == 0):
+                for worker in self.workers:
+                    worker.optimizer.lr *= config.lr_decay
+
+        if best_state is not None:
+            models[0].load_state_dict(best_state)
+        test = self.evaluator.test(models[0])
+
+        total = CommRecord()
+        for stats in history:
+            total += stats.comm
+        return TrainResult(
+            framework=self.framework,
+            test=test,
+            best_epoch=best_epoch,
+            history=history,
+            comm_total=total,
+            num_workers=len(self.workers),
+            dropped_contributions=dropped_contributions,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_correction(self) -> None:
+        if self.correction_hook is not None:
+            self.correction_hook([w.model for w in self.workers])

@@ -1,0 +1,174 @@
+"""Worker-side graph views.
+
+A :class:`WorkerGraphView` is what a worker's neighbor sampler sees: a
+composite over (a) the worker's local partition — free to read — and
+(b) an optional remote store on the master — every access charged to
+the worker's communication meter.  The view also resolves feature
+vectors, fetching remotely only those input nodes whose features are
+not stored locally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..partition.partitioned import PartitionedGraph
+from ..sampling.blocks import GraphNeighborSource
+from .comm import CommMeter
+
+
+class WorkerGraphView:
+    """Composite neighbor source for worker ``part``.
+
+    Parameters
+    ----------
+    remote:
+        ``None`` for pure-local training (vanilla baselines, SpLPG-),
+        a :class:`~repro.distributed.store.RemoteGraphStore` for the
+        complete data-sharing strategy, or a
+        :class:`~repro.distributed.store.SparsifiedRemoteStore` for
+        SpLPG.  Structure queries for nodes owned by other partitions
+        go to the remote store when present; without one, the worker
+        can only use whatever edges its local partition stores.
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedGraph,
+        part: int,
+        remote=None,
+        meter: Optional[CommMeter] = None,
+        cache_remote_features: bool = False,
+    ) -> None:
+        self.partitioned = partitioned
+        self.part = part
+        self.remote = remote
+        self.meter = meter
+        self._local = GraphNeighborSource(partitioned.local_graph(part))
+        self._owned_mask = partitioned.assignment == part
+        # Optional optimization beyond the paper's accounting: remember
+        # which remote features were already fetched and never pay for
+        # them again until the cache is cleared (see the feature-cache
+        # ablation benchmark).
+        self.cache_remote_features = cache_remote_features
+        self._feature_cache: set[int] = set()
+
+    @property
+    def num_nodes(self) -> int:
+        return self.partitioned.full.num_nodes
+
+    # -- structure ---------------------------------------------------------
+
+    def neighbors_batch(self, nodes: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if self.remote is not None and getattr(self.remote, "complete",
+                                               False):
+            # Complete data-sharing: every neighbor list is served at
+            # full fidelity; the worker pays only for the edges its
+            # local partition does not store (paper Section III-B).
+            return self._complete_neighbors(nodes)
+        local_mask = self._owned_mask[nodes]
+        if self.remote is None or bool(local_mask.all()):
+            # Everything answered from local storage (owned nodes have
+            # complete neighbor lists when mirrored; halo/foreign nodes
+            # expose only locally stored edges).
+            return self._local.neighbors_batch(nodes)
+
+        counts = np.zeros(nodes.size, dtype=np.int64)
+        chunk_data = []
+        local_sel = np.flatnonzero(local_mask)
+        if local_sel.size:
+            nbrs, w, offs = self._local.neighbors_batch(nodes[local_sel])
+            counts[local_sel] = np.diff(offs)
+            chunk_data.append((local_sel, nbrs, w, offs))
+        remote_sel = np.flatnonzero(~local_mask)
+        if remote_sel.size:
+            nbrs, w, offs = self.remote.neighbors_batch(
+                nodes[remote_sel], self.meter)
+            counts[remote_sel] = np.diff(offs)
+            chunk_data.append((remote_sel, nbrs, w, offs))
+
+        total = int(counts.sum())
+        out_nbrs = np.empty(total, dtype=np.int64)
+        out_w = np.empty(total, dtype=np.float64)
+        out_offsets = np.concatenate([[0], np.cumsum(counts)])
+        for sel, nbrs, w, offs in chunk_data:
+            for j, pos in enumerate(sel):
+                lo, hi = offs[j], offs[j + 1]
+                dst = out_offsets[pos]
+                out_nbrs[dst:dst + hi - lo] = nbrs[lo:hi]
+                out_w[dst:dst + hi - lo] = w[lo:hi]
+        return out_nbrs, out_w, out_offsets
+
+    def _complete_neighbors(self, nodes: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full-fidelity answers with delta charging.
+
+        Returns the complete neighbor lists from the master's full
+        graph; the meter is charged for the difference between the full
+        and locally stored degree of each queried node (a node whose
+        list is already complete locally costs nothing).
+        """
+        full = self.partitioned.full
+        local_graph = self.partitioned.local_graph(self.part)
+        full_counts = (full.indptr[nodes + 1] - full.indptr[nodes])
+        local_counts = (local_graph.indptr[nodes + 1]
+                        - local_graph.indptr[nodes])
+        missing = np.maximum(full_counts - local_counts, 0)
+        if self.meter is not None:
+            num_incomplete = int(np.count_nonzero(missing))
+            if num_incomplete:
+                self.meter.charge_structure(
+                    num_edges=int(missing.sum()),
+                    num_queried_nodes=num_incomplete,
+                    weighted=False)
+        # Answer from the full graph without re-charging.
+        return GraphNeighborSource(full).neighbors_batch(nodes)
+
+    # -- features ------------------------------------------------------------
+
+    def fetch_features(self, nodes: np.ndarray) -> np.ndarray:
+        """Features of ``nodes``; remote rows are charged to the meter.
+
+        Within one call (= one mini-batch) nodes are already unique, so
+        the per-batch deduplication of the paper's accounting holds.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        feats = self.partitioned.full.features
+        if feats is None:
+            raise ValueError("graph has no features")
+        local = self.partitioned.has_feature_locally(self.part, nodes)
+        remote_nodes = nodes[~local]
+        if self.cache_remote_features and remote_nodes.size:
+            remote_nodes = np.array(
+                [n for n in remote_nodes.tolist()
+                 if n not in self._feature_cache], dtype=np.int64)
+            self._feature_cache.update(remote_nodes.tolist())
+        num_remote = int(remote_nodes.size)
+        if num_remote and self.remote is not None and self.meter is not None:
+            self.meter.charge_features(num_remote, feats.shape[1])
+        # Without a remote store a worker cannot see foreign features at
+        # all; those rows are zero-filled (the sampler only reaches such
+        # nodes in pure-local regimes via stale halo edges, if ever).
+        result = feats[nodes].astype(np.float32)
+        if self.remote is None and not local.all():
+            result = result.copy()
+            result[~local] = 0.0
+        return result
+
+    def clear_feature_cache(self) -> None:
+        """Reset the remote-feature cache (e.g. at epoch boundaries)."""
+        self._feature_cache.clear()
+
+    # -- candidate sets for negative sampling ---------------------------------
+
+    def local_candidate_nodes(self) -> np.ndarray:
+        """Nodes a worker can negative-sample without data sharing."""
+        return self.partitioned.owned_nodes(self.part)
+
+    def global_candidate_nodes(self) -> np.ndarray:
+        """Full negative-sampling space (needs a remote store)."""
+        return np.arange(self.num_nodes, dtype=np.int64)

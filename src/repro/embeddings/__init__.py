@@ -1,0 +1,13 @@
+"""Network-embedding baselines: DeepWalk / node2vec (paper Sec. II-A)."""
+
+from .skipgram import SkipGramEmbedding, deepwalk_embedding, train_skipgram
+from .walks import node2vec_walks, random_walks, walk_context_pairs
+
+__all__ = [
+    "SkipGramEmbedding",
+    "deepwalk_embedding",
+    "train_skipgram",
+    "node2vec_walks",
+    "random_walks",
+    "walk_context_pairs",
+]

@@ -1,0 +1,120 @@
+"""Random-walk generation for network embeddings.
+
+DeepWalk [28] uses uniform random walks; node2vec [29] biases the walk
+with return parameter ``p`` and in-out parameter ``q``.  Walks feed the
+skip-gram trainer in :mod:`repro.embeddings.skipgram`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+
+def random_walks(
+    graph: Graph,
+    num_walks: int = 10,
+    walk_length: int = 40,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Uniform random walks: ``num_walks`` starts per node.
+
+    Returns an ``(n * num_walks, walk_length)`` int array.  Walks from
+    isolated nodes (or that reach a dead end, impossible in undirected
+    graphs with self-degree > 0) stay in place.
+    """
+    rng = rng or np.random.default_rng()
+    n = graph.num_nodes
+    starts = np.tile(np.arange(n, dtype=np.int64), num_walks)
+    rng.shuffle(starts)
+    walks = np.empty((starts.size, walk_length), dtype=np.int64)
+    walks[:, 0] = starts
+    current = starts.copy()
+    degrees = graph.degrees
+    for step in range(1, walk_length):
+        # Vectorized: draw a random neighbor index per walker.
+        deg = degrees[current]
+        movable = deg > 0
+        offsets = (rng.random(current.size) * np.maximum(deg, 1)).astype(
+            np.int64)
+        next_nodes = current.copy()
+        idx = graph.indptr[current[movable]] + offsets[movable]
+        next_nodes[movable] = graph.indices[idx]
+        walks[:, step] = next_nodes
+        current = next_nodes
+    return walks
+
+
+def node2vec_walks(
+    graph: Graph,
+    num_walks: int = 10,
+    walk_length: int = 40,
+    p: float = 1.0,
+    q: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Second-order biased walks (node2vec).
+
+    Transition weights from ``prev -> current -> x``:
+    ``1/p`` if ``x == prev`` (return), ``1`` if ``x`` neighbors
+    ``prev`` (BFS-like), ``1/q`` otherwise (DFS-like).  ``p = q = 1``
+    reduces to DeepWalk.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    rng = rng or np.random.default_rng()
+    n = graph.num_nodes
+    neighbor_sets = [set(graph.neighbors(v).tolist()) for v in range(n)]
+    walks = np.empty((n * num_walks, walk_length), dtype=np.int64)
+    row = 0
+    for _ in range(num_walks):
+        for start in rng.permutation(n):
+            walk = [int(start)]
+            prev = -1
+            while len(walk) < walk_length:
+                cur = walk[-1]
+                nbrs = graph.neighbors(cur)
+                if nbrs.size == 0:
+                    walk.append(cur)
+                    continue
+                if prev < 0:
+                    nxt = int(nbrs[rng.integers(0, nbrs.size)])
+                else:
+                    weights = np.empty(nbrs.size)
+                    prev_nbrs = neighbor_sets[prev]
+                    for i, x in enumerate(nbrs):
+                        if x == prev:
+                            weights[i] = 1.0 / p
+                        elif int(x) in prev_nbrs:
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(nbrs[rng.choice(nbrs.size, p=weights)])
+                prev = cur
+                walk.append(nxt)
+            walks[row] = walk
+            row += 1
+    return walks
+
+
+def walk_context_pairs(walks: np.ndarray,
+                       window: int = 5) -> np.ndarray:
+    """Skip-gram training pairs: each (center, context) within the
+    window on each walk.  Returns an ``(m, 2)`` array."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    chunks = []
+    length = walks.shape[1]
+    for offset in range(1, window + 1):
+        if offset >= length:
+            break
+        centers = walks[:, :-offset].ravel()
+        contexts = walks[:, offset:].ravel()
+        chunks.append(np.stack([centers, contexts], axis=1))
+        chunks.append(np.stack([contexts, centers], axis=1))
+    return (np.concatenate(chunks, axis=0) if chunks
+            else np.zeros((0, 2), dtype=np.int64))

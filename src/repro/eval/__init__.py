@@ -1,0 +1,39 @@
+"""Evaluation: Hits@K / AUC metrics and the validation-test protocol."""
+
+from .evaluator import EvalResult, Evaluator, score_pairs
+from .heuristics import (
+    HEURISTICS,
+    adamic_adar,
+    common_neighbors,
+    heuristic_score,
+    jaccard,
+    katz_index,
+    preferential_attachment,
+    resource_allocation,
+)
+from .metrics import (
+    accuracy_at_threshold,
+    auc,
+    hits_at_k,
+    mean_reciprocal_rank,
+    precision_at_k,
+)
+
+__all__ = [
+    "EvalResult",
+    "Evaluator",
+    "score_pairs",
+    "HEURISTICS",
+    "adamic_adar",
+    "common_neighbors",
+    "heuristic_score",
+    "jaccard",
+    "katz_index",
+    "preferential_attachment",
+    "resource_allocation",
+    "accuracy_at_threshold",
+    "auc",
+    "hits_at_k",
+    "mean_reciprocal_rank",
+    "precision_at_k",
+]

@@ -1,0 +1,106 @@
+"""Link-prediction metrics.
+
+The paper reports **Hits@100** with OGB semantics [38]: the fraction of
+positive test edges whose score is strictly higher than the K-th
+highest negative score.  AUC is provided as a secondary metric used by
+several of the cited baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hits_at_k(pos_scores: np.ndarray, neg_scores: np.ndarray,
+              k: int = 100) -> float:
+    """OGB-style Hits@K.
+
+    Ranks every positive edge against the shared pool of negative
+    scores: a positive counts as a "hit" when it beats the K-th best
+    negative.  When there are fewer than K negatives, every positive
+    trivially hits (matching the OGB evaluator).
+    """
+    pos_scores = np.asarray(pos_scores, dtype=np.float64).ravel()
+    neg_scores = np.asarray(neg_scores, dtype=np.float64).ravel()
+    if pos_scores.size == 0:
+        raise ValueError("need at least one positive score")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if neg_scores.size < k:
+        return 1.0
+    # K-th highest negative score.
+    threshold = np.partition(neg_scores, -k)[-k]
+    return float(np.mean(pos_scores > threshold))
+
+
+def auc(pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formula,
+    with the standard 1/2 credit for ties."""
+    pos_scores = np.asarray(pos_scores, dtype=np.float64).ravel()
+    neg_scores = np.asarray(neg_scores, dtype=np.float64).ravel()
+    if pos_scores.size == 0 or neg_scores.size == 0:
+        raise ValueError("need both positive and negative scores")
+    combined = np.concatenate([pos_scores, neg_scores])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, combined.size + 1)
+    # Average ranks over ties.
+    sorted_vals = combined[order]
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            avg = 0.5 * (i + j) + 1.0
+            ranks[order[i:j + 1]] = avg
+        i = j + 1
+    pos_rank_sum = ranks[:pos_scores.size].sum()
+    n_pos, n_neg = pos_scores.size, neg_scores.size
+    u_stat = pos_rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u_stat / (n_pos * n_neg))
+
+
+def mean_reciprocal_rank(pos_scores: np.ndarray,
+                         neg_scores: np.ndarray) -> float:
+    """MRR against a shared negative pool (OGB-citation2 style).
+
+    Each positive edge is ranked against all negatives; its reciprocal
+    rank is ``1 / (1 + #negatives scoring >= it)``.
+    """
+    pos_scores = np.asarray(pos_scores, dtype=np.float64).ravel()
+    neg_scores = np.asarray(neg_scores, dtype=np.float64).ravel()
+    if pos_scores.size == 0 or neg_scores.size == 0:
+        raise ValueError("need both positive and negative scores")
+    sorted_neg = np.sort(neg_scores)
+    # number of negatives >= each positive (ties count against us)
+    below = np.searchsorted(sorted_neg, pos_scores, side="left")
+    beaten_by = neg_scores.size - below
+    return float(np.mean(1.0 / (1.0 + beaten_by)))
+
+
+def precision_at_k(pos_scores: np.ndarray, neg_scores: np.ndarray,
+                   k: int = 100) -> float:
+    """Fraction of true positives among the top-k scored pairs."""
+    pos_scores = np.asarray(pos_scores, dtype=np.float64).ravel()
+    neg_scores = np.asarray(neg_scores, dtype=np.float64).ravel()
+    if k <= 0:
+        raise ValueError("k must be positive")
+    labels = np.concatenate([np.ones(pos_scores.size),
+                             np.zeros(neg_scores.size)])
+    scores = np.concatenate([pos_scores, neg_scores])
+    if scores.size == 0:
+        raise ValueError("need at least one score")
+    k = min(k, scores.size)
+    top = np.argpartition(-scores, k - 1)[:k]
+    return float(labels[top].mean())
+
+
+def accuracy_at_threshold(pos_scores: np.ndarray, neg_scores: np.ndarray,
+                          threshold: float = 0.0) -> float:
+    """Balanced binary accuracy of thresholded raw scores."""
+    pos_scores = np.asarray(pos_scores, dtype=np.float64)
+    neg_scores = np.asarray(neg_scores, dtype=np.float64)
+    tpr = float(np.mean(pos_scores > threshold)) if pos_scores.size else 0.0
+    tnr = float(np.mean(neg_scores <= threshold)) if neg_scores.size else 0.0
+    return 0.5 * (tpr + tnr)

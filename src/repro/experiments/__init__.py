@@ -1,0 +1,51 @@
+"""Per-figure/table experiment runners (see DESIGN.md for the index)."""
+
+from .ablations import FIG12_LADDER, run_fig12, run_fig13, run_table3
+from .config import ExperimentScale, MeanResult, format_rows, run_framework_mean
+from .extensions import (
+    run_feature_cache_ablation,
+    run_gnn_zoo,
+    run_negative_sampler_ablation,
+    run_partitioner_ablation,
+    run_sparsifier_ablation,
+    run_sync_ablation,
+)
+from .models_exp import FIG14_FRAMEWORKS, FIG14_MODELS, run_fig14
+from .report import EXTENSION_EXPERIMENTS, PAPER_EXPERIMENTS, run_all, save_report
+from .perf_drop import FIG3_FRAMEWORKS, FIG4_FRAMEWORKS, run_fig3, run_fig4
+from .sparsify_exp import run_fig6, run_table2
+from .splpg_exp import run_fig8, run_fig9, run_fig10, run_fig11
+
+__all__ = [
+    "FIG12_LADDER",
+    "run_fig12",
+    "run_fig13",
+    "run_table3",
+    "ExperimentScale",
+    "MeanResult",
+    "format_rows",
+    "run_framework_mean",
+    "FIG14_FRAMEWORKS",
+    "FIG14_MODELS",
+    "run_fig14",
+    "FIG3_FRAMEWORKS",
+    "FIG4_FRAMEWORKS",
+    "run_fig3",
+    "run_fig4",
+    "run_fig6",
+    "run_table2",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_feature_cache_ablation",
+    "run_gnn_zoo",
+    "run_negative_sampler_ablation",
+    "run_partitioner_ablation",
+    "run_sparsifier_ablation",
+    "run_sync_ablation",
+    "EXTENSION_EXPERIMENTS",
+    "PAPER_EXPERIMENTS",
+    "run_all",
+    "save_report",
+]

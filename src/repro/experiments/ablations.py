@@ -1,0 +1,106 @@
+"""Ablation studies (Section V-C).
+
+* **Figure 12** — impact of full-neighbor storage and global negative
+  samples via the SpLPG--, SpLPG-, SpLPG, SpLPG+ ladder.
+* **Figure 13** — impact of training batch size on communication cost
+  and accuracy.
+* **Table III** — impact of the sparsification level ``alpha`` on
+  communication saving and accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.frameworks import PAPER_LABELS, run_framework
+from .config import ExperimentScale, run_framework_mean
+
+FIG12_LADDER = ("splpg_minus_minus", "splpg_minus", "splpg", "splpg_plus")
+
+
+def run_fig12(
+    datasets: Sequence[str] = ("cora", "citeseer"),
+    p: int = 4,
+    scale: Optional[ExperimentScale] = None,
+    gnn_type: str = "sage",
+) -> List[Dict]:
+    """The SpLPG variant ladder isolating the two root causes."""
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        config = scale.train_config(gnn_type=gnn_type)
+        for name in FIG12_LADDER:
+            result = run_framework_mean(
+                name, split, num_parts=p, config=config, alpha=scale.alpha,
+                seeds=scale.seeds)
+            rows.append({
+                "dataset": dataset,
+                "variant": PAPER_LABELS[name],
+                "hits": result.hits,
+                "auc": result.auc,
+                "hits_std": result.hits_std,
+            })
+    return rows
+
+
+def run_fig13(
+    dataset: str = "cora",
+    batch_sizes: Sequence[int] = (32, 64, 128, 256, 512),
+    p: int = 4,
+    scale: Optional[ExperimentScale] = None,
+    gnn_type: str = "sage",
+) -> List[Dict]:
+    """Batch size vs communication cost and accuracy (SpLPG)."""
+    scale = scale or ExperimentScale.quick()
+    split = scale.load_split(dataset)
+    rows: List[Dict] = []
+    for batch_size in batch_sizes:
+        config = scale.train_config(gnn_type=gnn_type,
+                                    batch_size=batch_size)
+        result = run_framework(
+            "splpg", split, num_parts=p, config=config, alpha=scale.alpha,
+            rng=np.random.default_rng(scale.seed))
+        rows.append({
+            "dataset": dataset,
+            "batch_size": batch_size,
+            "comm_gb_per_epoch": result.graph_data_gb_per_epoch,
+            "hits": result.test.hits,
+        })
+    return rows
+
+
+def run_table3(
+    dataset: str = "cora",
+    alphas: Sequence[float] = (0.05, 0.10, 0.15, 0.20),
+    p_values: Sequence[int] = (4, 8),
+    scale: Optional[ExperimentScale] = None,
+    gnn_type: str = "sage",
+) -> List[Dict]:
+    """Sparsification level: comm saving vs SpLPG+ and accuracy."""
+    scale = scale or ExperimentScale.quick()
+    split = scale.load_split(dataset)
+    config = scale.train_config(gnn_type=gnn_type)
+    rows: List[Dict] = []
+    plus_by_p = {}
+    for p in p_values:
+        plus_by_p[p] = run_framework(
+            "splpg_plus", split, num_parts=p, config=config,
+            rng=np.random.default_rng(scale.seed))
+    for alpha in alphas:
+        for p in p_values:
+            result = run_framework(
+                "splpg", split, num_parts=p, config=config, alpha=alpha,
+                rng=np.random.default_rng(scale.seed))
+            plus = plus_by_p[p]
+            saving = 1.0 - (result.graph_data_gb_per_epoch
+                            / max(plus.graph_data_gb_per_epoch, 1e-12))
+            rows.append({
+                "alpha": alpha,
+                "p": p,
+                "comm_saving": saving,
+                "hits": result.test.hits,
+            })
+    return rows

@@ -1,0 +1,84 @@
+"""Experiments of Section III: the performance-drop problem.
+
+* **Figure 3** — link prediction accuracy of the state-of-the-art
+  distributed methods (PSGD-PA, LLCG, RandomTMA, SuperTMA) against
+  centralized training: all of them degrade.
+* **Figure 4** — the same baselines with the complete data-sharing
+  strategy (``+`` variants): accuracy recovers to centralized levels
+  but graph-data communication explodes.
+
+Accuracy columns are averaged over ``scale.num_seeds`` independent
+runs (model init, partitioning and sampling all reseeded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.frameworks import PAPER_LABELS
+from .config import ExperimentScale, run_framework_mean
+
+FIG3_FRAMEWORKS = ("centralized", "psgd_pa", "llcg", "random_tma",
+                   "super_tma")
+FIG4_FRAMEWORKS = ("centralized", "psgd_pa_plus", "random_tma_plus",
+                   "super_tma_plus")
+
+
+def run_fig3(
+    datasets: Sequence[str] = ("cora", "citeseer"),
+    p_values: Sequence[int] = (4,),
+    scale: Optional[ExperimentScale] = None,
+    gnn_type: str = "sage",
+    frameworks: Sequence[str] = FIG3_FRAMEWORKS,
+) -> List[Dict]:
+    """Accuracy of vanilla distributed baselines vs centralized."""
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        config = scale.train_config(gnn_type=gnn_type)
+        for p in p_values:
+            for name in frameworks:
+                if name == "centralized" and p != p_values[0]:
+                    continue  # centralized is independent of p
+                result = run_framework_mean(
+                    name, split, num_parts=p, config=config,
+                    alpha=scale.alpha, seeds=scale.seeds)
+                rows.append({
+                    "dataset": dataset,
+                    "p": p if name != "centralized" else "-",
+                    "framework": PAPER_LABELS[name],
+                    "hits": result.hits,
+                    "auc": result.auc,
+                    "hits_std": result.hits_std,
+                })
+    return rows
+
+
+def run_fig4(
+    datasets: Sequence[str] = ("cora",),
+    p_values: Sequence[int] = (4,),
+    scale: Optional[ExperimentScale] = None,
+    gnn_type: str = "sage",
+) -> List[Dict]:
+    """Accuracy + communication cost of the ``+`` data-sharing variants."""
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        config = scale.train_config(gnn_type=gnn_type)
+        for p in p_values:
+            for name in FIG4_FRAMEWORKS:
+                if name == "centralized" and p != p_values[0]:
+                    continue
+                result = run_framework_mean(
+                    name, split, num_parts=p, config=config,
+                    alpha=scale.alpha, seeds=scale.seeds)
+                rows.append({
+                    "dataset": dataset,
+                    "p": p if name != "centralized" else "-",
+                    "framework": PAPER_LABELS[name],
+                    "hits": result.hits,
+                    "comm_gb_per_epoch": result.comm_gb_per_epoch,
+                })
+    return rows

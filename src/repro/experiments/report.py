@@ -1,0 +1,112 @@
+"""One-shot reproduction report.
+
+``run_all`` executes every paper experiment (and optionally the
+extension ablations) at a given scale and returns a nested dict that
+can be dumped to JSON — the programmatic equivalent of running the
+whole benchmark suite.  ``python -m repro.experiments all --json out``
+uses this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from .ablations import run_fig12, run_fig13, run_table3
+from .config import ExperimentScale
+from .extensions import (
+    run_feature_cache_ablation,
+    run_gnn_zoo,
+    run_negative_sampler_ablation,
+    run_partitioner_ablation,
+    run_sparsifier_ablation,
+    run_sync_ablation,
+)
+from .models_exp import run_fig14
+from .perf_drop import run_fig3, run_fig4
+from .sparsify_exp import run_fig6, run_table2
+from .splpg_exp import run_fig8, run_fig9, run_fig10, run_fig11
+
+PAPER_EXPERIMENTS: Dict[str, Callable] = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig6": run_fig6,
+    "table2": run_table2,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "table3": run_table3,
+    "fig14": run_fig14,
+}
+
+EXTENSION_EXPERIMENTS: Dict[str, Callable] = {
+    "sparsifier_ablation": run_sparsifier_ablation,
+    "feature_cache_ablation": run_feature_cache_ablation,
+    "sync_ablation": run_sync_ablation,
+    "negative_sampler_ablation": run_negative_sampler_ablation,
+    "partitioner_ablation": run_partitioner_ablation,
+    "gnn_zoo": run_gnn_zoo,
+}
+
+
+def run_all(
+    scale: Optional[ExperimentScale] = None,
+    include_extensions: bool = False,
+    only: Optional[List[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, dict]:
+    """Run every experiment; returns ``{experiment_id: {rows, seconds}}``.
+
+    ``only`` restricts to a subset of experiment ids; ``progress`` is
+    called with each experiment id as it starts (e.g. ``print``).
+    """
+    scale = scale or ExperimentScale.quick()
+    experiments = dict(PAPER_EXPERIMENTS)
+    if include_extensions:
+        experiments.update(EXTENSION_EXPERIMENTS)
+    if only is not None:
+        unknown = set(only) - set(experiments)
+        if unknown:
+            raise ValueError(f"unknown experiments: {sorted(unknown)}")
+        experiments = {k: experiments[k] for k in only}
+
+    report: Dict[str, dict] = {}
+    for name, runner in experiments.items():
+        if progress is not None:
+            progress(name)
+        started = time.perf_counter()
+        rows = runner(scale=scale)
+        # drop non-serializable payloads (e.g. validation curves keep)
+        clean_rows = [
+            {k: v for k, v in row.items()}
+            for row in rows
+        ]
+        report[name] = {
+            "rows": clean_rows,
+            "seconds": time.perf_counter() - started,
+        }
+    return report
+
+
+def save_report(report: Dict[str, dict], path: str) -> None:
+    """Dump a :func:`run_all` report as JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, default=_jsonify)
+
+
+def _jsonify(value):
+    try:
+        import numpy as np
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+    except ImportError:  # pragma: no cover
+        pass
+    return str(value)

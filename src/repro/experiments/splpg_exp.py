@@ -1,0 +1,163 @@
+"""SpLPG headline experiments (Section V-B).
+
+* **Figure 8** — communication-cost improvement of SpLPG over the
+  ``+`` baselines (PSGD-PA+, RandomTMA+, SuperTMA+) for GCN and
+  GraphSAGE at p in {4, 8, 16}.
+* **Figure 9** — communication-cost improvement of SpLPG over SpLPG+
+  (same pipeline, no sparsification) across datasets.
+* **Figure 10** — accuracy improvement of SpLPG over the *vanilla*
+  baselines (PSGD-PA, RandomTMA, SuperTMA).
+* **Figure 11** — absolute accuracy of SpLPG against centralized
+  training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.frameworks import PAPER_LABELS, run_framework
+from .config import ExperimentScale, run_framework_mean
+
+
+def _run(name, split, p, config, alpha, seed):
+    return run_framework(name, split, num_parts=p, config=config,
+                         alpha=alpha, rng=np.random.default_rng(seed))
+
+
+def run_fig8(
+    datasets: Sequence[str] = ("cora",),
+    p_values: Sequence[int] = (4, 8),
+    gnn_types: Sequence[str] = ("gcn", "sage"),
+    scale: Optional[ExperimentScale] = None,
+    baselines: Sequence[str] = ("psgd_pa_plus", "random_tma_plus",
+                                "super_tma_plus"),
+    comm_epochs: int = 2,
+) -> List[Dict]:
+    """Comm-cost saving of SpLPG vs each complete-data-sharing baseline.
+
+    Communication per epoch is deterministic given the sampling
+    process, so ``comm_epochs`` epochs suffice to measure it.
+    """
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        for gnn_type in gnn_types:
+            config = scale.train_config(gnn_type=gnn_type,
+                                        epochs=comm_epochs,
+                                        eval_every=comm_epochs + 1)
+            for p in p_values:
+                splpg = _run("splpg", split, p, config, scale.alpha,
+                             scale.seed)
+                for baseline in baselines:
+                    ref = _run(baseline, split, p, config, scale.alpha,
+                               scale.seed)
+                    saving = 1.0 - (splpg.graph_data_gb_per_epoch
+                                    / max(ref.graph_data_gb_per_epoch, 1e-12))
+                    rows.append({
+                        "dataset": dataset,
+                        "gnn": gnn_type,
+                        "p": p,
+                        "baseline": PAPER_LABELS[baseline],
+                        "splpg_gb": splpg.graph_data_gb_per_epoch,
+                        "baseline_gb": ref.graph_data_gb_per_epoch,
+                        "saving": saving,
+                    })
+    return rows
+
+
+def run_fig9(
+    datasets: Sequence[str] = ("cora", "citeseer", "pubmed"),
+    p_values: Sequence[int] = (4, 8),
+    scale: Optional[ExperimentScale] = None,
+    gnn_type: str = "sage",
+    comm_epochs: int = 2,
+) -> List[Dict]:
+    """Comm-cost saving of SpLPG over SpLPG+ (isolates sparsification)."""
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        config = scale.train_config(gnn_type=gnn_type, epochs=comm_epochs,
+                                    eval_every=comm_epochs + 1)
+        for p in p_values:
+            splpg = _run("splpg", split, p, config, scale.alpha, scale.seed)
+            plus = _run("splpg_plus", split, p, config, scale.alpha,
+                        scale.seed)
+            saving = 1.0 - (splpg.graph_data_gb_per_epoch
+                            / max(plus.graph_data_gb_per_epoch, 1e-12))
+            rows.append({
+                "dataset": dataset,
+                "p": p,
+                "splpg_gb": splpg.graph_data_gb_per_epoch,
+                "splpg_plus_gb": plus.graph_data_gb_per_epoch,
+                "saving": saving,
+            })
+    return rows
+
+
+def run_fig10(
+    datasets: Sequence[str] = ("cora",),
+    p_values: Sequence[int] = (4,),
+    gnn_types: Sequence[str] = ("sage",),
+    scale: Optional[ExperimentScale] = None,
+    baselines: Sequence[str] = ("psgd_pa", "random_tma", "super_tma"),
+) -> List[Dict]:
+    """Accuracy improvement of SpLPG over the vanilla baselines."""
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        for gnn_type in gnn_types:
+            config = scale.train_config(gnn_type=gnn_type)
+            for p in p_values:
+                splpg = run_framework_mean("splpg", split, p, config,
+                                           alpha=scale.alpha,
+                                           seeds=scale.seeds)
+                for baseline in baselines:
+                    ref = run_framework_mean(baseline, split, p, config,
+                                             alpha=scale.alpha,
+                                             seeds=scale.seeds)
+                    improvement = (splpg.hits / max(ref.hits, 1e-9) - 1.0)
+                    rows.append({
+                        "dataset": dataset,
+                        "gnn": gnn_type,
+                        "p": p,
+                        "baseline": PAPER_LABELS[baseline],
+                        "splpg_hits": splpg.hits,
+                        "baseline_hits": ref.hits,
+                        "improvement": improvement,
+                    })
+    return rows
+
+
+def run_fig11(
+    datasets: Sequence[str] = ("cora", "citeseer"),
+    p_values: Sequence[int] = (4,),
+    gnn_types: Sequence[str] = ("gcn", "sage"),
+    scale: Optional[ExperimentScale] = None,
+) -> List[Dict]:
+    """Absolute accuracy: SpLPG vs centralized per dataset/model."""
+    scale = scale or ExperimentScale.quick()
+    rows: List[Dict] = []
+    for dataset in datasets:
+        split = scale.load_split(dataset)
+        for gnn_type in gnn_types:
+            config = scale.train_config(gnn_type=gnn_type)
+            central = run_framework_mean("centralized", split, 1,
+                                         config, seeds=scale.seeds)
+            for p in p_values:
+                splpg = run_framework_mean("splpg", split, p, config,
+                                           alpha=scale.alpha,
+                                           seeds=scale.seeds)
+                rows.append({
+                    "dataset": dataset,
+                    "gnn": gnn_type,
+                    "p": p,
+                    "centralized_hits": central.hits,
+                    "splpg_hits": splpg.hits,
+                    "gap": splpg.hits - central.hits,
+                })
+    return rows

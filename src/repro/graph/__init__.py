@@ -1,0 +1,88 @@
+"""Graph substrate: storage, generators, datasets, splits, Laplacians."""
+
+from .analysis import (
+    GraphStats,
+    connected_components,
+    degree_histogram,
+    giant_component_fraction,
+    global_clustering_coefficient,
+    graph_stats,
+    k_hop_sizes,
+    mean_k_hop_size,
+    modularity,
+    partition_report,
+    power_law_tail_ratio,
+)
+
+from .graph import Graph, GraphError
+from .io import load_graph, load_split, save_graph, save_split
+from .generators import (
+    chung_lu_graph,
+    community_graph,
+    latent_features,
+    powerlaw_expected_degrees,
+    synthetic_lp_graph,
+)
+from .datasets import (
+    DATASET_NAMES,
+    REPRESENTATIVE_DATASETS,
+    SMALL_DATASETS,
+    SPLIT_CONVENTIONS,
+    TABLE_I,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+    load_dataset_split,
+    split_convention,
+)
+from .splits import EdgeSplit, sample_non_edges, split_edges
+from .laplacian import (
+    exact_effective_resistance,
+    laplacian,
+    laplacian_pseudoinverse,
+    normalized_laplacian,
+    spectral_gap,
+)
+
+__all__ = [
+    "GraphStats",
+    "connected_components",
+    "degree_histogram",
+    "giant_component_fraction",
+    "global_clustering_coefficient",
+    "graph_stats",
+    "k_hop_sizes",
+    "mean_k_hop_size",
+    "modularity",
+    "partition_report",
+    "power_law_tail_ratio",
+    "Graph",
+    "GraphError",
+    "load_graph",
+    "load_split",
+    "save_graph",
+    "save_split",
+    "chung_lu_graph",
+    "community_graph",
+    "latent_features",
+    "powerlaw_expected_degrees",
+    "synthetic_lp_graph",
+    "DATASET_NAMES",
+    "REPRESENTATIVE_DATASETS",
+    "SMALL_DATASETS",
+    "TABLE_I",
+    "DatasetSpec",
+    "dataset_spec",
+    "load_dataset",
+    "load_dataset_split",
+    "SPLIT_CONVENTIONS",
+    "split_convention",
+    "EdgeSplit",
+    "sample_non_edges",
+    "split_edges",
+    "exact_effective_resistance",
+    "laplacian",
+    "laplacian_pseudoinverse",
+    "normalized_laplacian",
+    "spectral_gap",
+]

@@ -1,0 +1,82 @@
+"""Graph Laplacians and exact effective resistance.
+
+These are the reference implementations used to validate the cheap
+degree-based approximation of effective resistance (paper Theorem 2,
+Lovász's bound).  The exact computation goes through the Moore-Penrose
+pseudo-inverse of the Laplacian and is only practical for small graphs,
+which is exactly how the test suite uses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def laplacian(graph: Graph, weighted: bool = True) -> sp.csr_matrix:
+    """Combinatorial Laplacian ``L = D - A``."""
+    adj = graph.adjacency(weighted=weighted)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    return (sp.diags(deg) - adj).tocsr()
+
+
+def normalized_laplacian(graph: Graph, weighted: bool = True) -> sp.csr_matrix:
+    """Symmetric normalized Laplacian ``L_sym = D^-1/2 L D^-1/2``.
+
+    Isolated nodes get a zero row/column (their ``D^-1/2`` entry is
+    treated as 0), matching the convention used by spectral GNNs.
+    """
+    adj = graph.adjacency(weighted=weighted)
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(deg)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_inv = sp.diags(inv_sqrt)
+    lap = sp.diags(deg) - adj
+    return (d_inv @ lap @ d_inv).tocsr()
+
+
+def laplacian_pseudoinverse(graph: Graph, weighted: bool = True) -> np.ndarray:
+    """Dense Moore-Penrose pseudo-inverse of the Laplacian.
+
+    O(n^3); intended for validation on small graphs only.
+    """
+    lap = laplacian(graph, weighted=weighted).toarray()
+    return np.linalg.pinv(lap, hermitian=True)
+
+
+def exact_effective_resistance(
+    graph: Graph,
+    edges: np.ndarray | None = None,
+    weighted: bool = True,
+) -> np.ndarray:
+    """Exact effective resistance ``r_(u,v)`` per paper Eq. (3).
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` node pairs; defaults to all undirected edges of the
+        graph.  The pairs need not be edges — effective resistance is
+        defined for any pair in the same connected component.
+    """
+    if edges is None:
+        edges = graph.edge_list()
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    pinv = laplacian_pseudoinverse(graph, weighted=weighted)
+    u, v = edges[:, 0], edges[:, 1]
+    return pinv[u, u] + pinv[v, v] - 2.0 * pinv[u, v]
+
+
+def spectral_gap(graph: Graph) -> float:
+    """Second-smallest eigenvalue of the normalized Laplacian.
+
+    This is the ``gamma`` in Theorem 2's upper bound.  Dense
+    eigendecomposition; small graphs only.
+    """
+    lsym = normalized_laplacian(graph).toarray()
+    eigvals = np.linalg.eigvalsh(lsym)
+    if eigvals.size < 2:
+        return 0.0
+    return float(np.sort(eigvals)[1])

@@ -1,0 +1,157 @@
+"""Train/validation/test edge splits for link prediction.
+
+Follows the paper's protocol (Section V-A): for DGL-style datasets,
+80% of edges are training edges, 10% validation, 10% test.  Negative
+validation/test edges are drawn globally uniformly from non-edges,
+three times the corresponding positive count.  Training negatives are
+*not* pre-drawn — they are sampled per mini-batch by the training
+frameworks, which is exactly the behaviour the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .graph import Graph
+
+
+@dataclass
+class EdgeSplit:
+    """A link-prediction dataset: message-passing graph + labeled pairs.
+
+    Attributes
+    ----------
+    train_graph:
+        Graph containing only training edges (all nodes and features
+        preserved).  This is the graph given to the trainer; validation
+        and test edges are invisible to message passing.
+    train_pos / val_pos / test_pos:
+        Positive (existing) edges per split, ``(m, 2)`` arrays.
+    val_neg / test_neg:
+        Pre-drawn negative pairs for evaluation.
+    """
+
+    train_graph: Graph
+    train_pos: np.ndarray
+    val_pos: np.ndarray
+    test_pos: np.ndarray
+    val_neg: np.ndarray
+    test_neg: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.train_graph.num_nodes
+
+
+def sample_non_edges(
+    graph: Graph,
+    count: int,
+    rng: Optional[np.random.Generator] = None,
+    exclude: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Draw ``count`` distinct global-uniform negative pairs.
+
+    A negative pair is ``(u, v)`` with ``u != v`` and ``{u, v}`` not an
+    edge of ``graph`` nor in ``exclude``.  Uses rejection sampling,
+    which is efficient for the sparse graphs used in GNN training.
+    """
+    rng = rng or np.random.default_rng()
+    n = graph.num_nodes
+    if n < 2:
+        raise ValueError("graph must have at least 2 nodes")
+    forbidden = _edge_key_set(graph.edge_list(), n)
+    if exclude is not None and exclude.size:
+        forbidden |= _edge_key_set(np.asarray(exclude, dtype=np.int64), n)
+    max_pairs = n * (n - 1) // 2
+    if count > max_pairs - len(forbidden):
+        raise ValueError(
+            f"cannot draw {count} negative pairs: only "
+            f"{max_pairs - len(forbidden)} non-edges exist")
+
+    result = np.empty((count, 2), dtype=np.int64)
+    filled = 0
+    chosen: set[int] = set()
+    while filled < count:
+        need = count - filled
+        src = rng.integers(0, n, size=2 * need + 8)
+        dst = rng.integers(0, n, size=2 * need + 8)
+        ok = src != dst
+        src, dst = src[ok], dst[ok]
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        keys = lo * n + hi
+        for i in range(keys.size):
+            k = int(keys[i])
+            if k in forbidden or k in chosen:
+                continue
+            chosen.add(k)
+            result[filled, 0] = lo[i]
+            result[filled, 1] = hi[i]
+            filled += 1
+            if filled == count:
+                break
+    return result
+
+
+def split_edges(
+    graph: Graph,
+    train_frac: float = 0.8,
+    val_frac: float = 0.1,
+    neg_ratio: int = 3,
+    rng: Optional[np.random.Generator] = None,
+) -> EdgeSplit:
+    """Split a graph's edges for link prediction (paper Section V-A).
+
+    Parameters
+    ----------
+    train_frac, val_frac:
+        Fractions of edges for training and validation; the remainder
+        is the test split (defaults 80/10/10).
+    neg_ratio:
+        Negative-to-positive ratio for validation and test sets
+        (paper uses 3).
+    """
+    if not 0 < train_frac < 1 or not 0 <= val_frac < 1:
+        raise ValueError("invalid split fractions")
+    if train_frac + val_frac >= 1.0:
+        raise ValueError("train_frac + val_frac must be < 1")
+    rng = rng or np.random.default_rng()
+
+    edges = graph.edge_list()
+    m = edges.shape[0]
+    if m < 3:
+        raise ValueError("graph too small to split")
+    perm = rng.permutation(m)
+    n_train = max(1, int(round(m * train_frac)))
+    n_val = max(1, int(round(m * val_frac)))
+    n_train = min(n_train, m - 2)
+    n_val = min(n_val, m - n_train - 1)
+
+    train_pos = edges[perm[:n_train]]
+    val_pos = edges[perm[n_train:n_train + n_val]]
+    test_pos = edges[perm[n_train + n_val:]]
+
+    train_graph = graph.edge_subgraph(train_pos)
+
+    val_neg = sample_non_edges(graph, neg_ratio * val_pos.shape[0], rng)
+    test_neg = sample_non_edges(graph, neg_ratio * test_pos.shape[0], rng,
+                                exclude=val_neg)
+    return EdgeSplit(
+        train_graph=train_graph,
+        train_pos=train_pos,
+        val_pos=val_pos,
+        test_pos=test_pos,
+        val_neg=val_neg,
+        test_neg=test_neg,
+    )
+
+
+def _edge_key_set(edges: np.ndarray, num_nodes: int) -> set[int]:
+    if edges.size == 0:
+        return set()
+    lo = np.minimum(edges[:, 0], edges[:, 1]).astype(np.int64)
+    hi = np.maximum(edges[:, 0], edges[:, 1]).astype(np.int64)
+    return set((lo * num_nodes + hi).tolist())

@@ -1,0 +1,180 @@
+"""K-layer GNN encoders and edge predictors.
+
+``GNNModel`` stacks convolution layers over a sampled
+:class:`~repro.sampling.blocks.ComputationGraph` to produce seed-node
+embeddings (paper Eq. (1)); an edge predictor then scores node pairs
+(paper Eq. (2)).  The paper's default configuration is a 3-layer
+GCN/GraphSAGE with hidden dimension 256 and a 3-layer MLP predictor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..sampling.blocks import ComputationGraph
+from .gnn import GATConv, GATv2Conv, GCNConv, GINConv, SAGEConv
+from .module import MLP, Dropout, Linear, Module
+from .tensor import Tensor, gather, relu
+
+GNN_TYPES = ("gcn", "sage", "gat", "gatv2", "gin")
+
+
+def make_conv(gnn_type: str, in_dim: int, out_dim: int,
+              num_heads: int = 1,
+              rng: Optional[np.random.Generator] = None) -> Module:
+    """Factory for one convolution layer of the requested family."""
+    kind = gnn_type.lower()
+    if kind == "gcn":
+        return GCNConv(in_dim, out_dim, rng=rng)
+    if kind in ("sage", "graphsage"):
+        return SAGEConv(in_dim, out_dim, rng=rng)
+    if kind == "gat":
+        return GATConv(in_dim, out_dim, num_heads=num_heads, rng=rng)
+    if kind == "gatv2":
+        return GATv2Conv(in_dim, out_dim, num_heads=num_heads, rng=rng)
+    if kind == "gin":
+        return GINConv(in_dim, out_dim, rng=rng)
+    raise ValueError(f"unknown GNN type {gnn_type!r}; choose from {GNN_TYPES}")
+
+
+class GNNModel(Module):
+    """A K-layer GNN encoder for mini-batch training.
+
+    ``forward(comp_graph, features)`` consumes the layered blocks of a
+    sampled computational graph and the raw features of its input
+    nodes, returning embeddings for the seed nodes (the first
+    ``len(comp_graph.seeds)`` destination rows of the last block).
+    """
+
+    def __init__(
+        self,
+        gnn_type: str,
+        in_dim: int,
+        hidden_dim: int,
+        num_layers: int = 3,
+        out_dim: Optional[int] = None,
+        dropout: float = 0.0,
+        num_heads: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = rng or np.random.default_rng()
+        out_dim = hidden_dim if out_dim is None else out_dim
+        dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
+        self.gnn_type = gnn_type.lower()
+        self.convs = [make_conv(gnn_type, dims[i], dims[i + 1],
+                                num_heads=num_heads, rng=rng)
+                      for i in range(num_layers)]
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.convs)
+
+    def forward(self, comp_graph: ComputationGraph,
+                features: np.ndarray | Tensor) -> Tensor:
+        if len(comp_graph.blocks) != self.num_layers:
+            raise ValueError(
+                f"computational graph has {len(comp_graph.blocks)} blocks "
+                f"but the model has {self.num_layers} layers")
+        h = features if isinstance(features, Tensor) else Tensor(features)
+        if h.shape[0] != comp_graph.input_nodes.size:
+            raise ValueError("features must cover the input nodes")
+        for i, (conv, block) in enumerate(zip(self.convs, comp_graph.blocks)):
+            h = conv(block, h)
+            if i < self.num_layers - 1:
+                h = relu(h)
+                if self.dropout is not None:
+                    h = self.dropout(h)
+        return h
+
+
+class DotPredictor(Module):
+    """Dot-product edge scorer: ``s_uv = <h_u, h_v>``."""
+
+    def forward(self, h_u: Tensor, h_v: Tensor) -> Tensor:
+        return (h_u * h_v).sum(axis=1)
+
+
+class MLPPredictor(Module):
+    """MLP edge scorer on the Hadamard product of endpoint embeddings.
+
+    The paper uses a 3-layer MLP edge predictor; with ``num_layers=3``
+    this maps ``h_u * h_v`` through two hidden layers to a scalar logit.
+    """
+
+    def __init__(self, embed_dim: int, hidden_dim: Optional[int] = None,
+                 num_layers: int = 3,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        hidden_dim = embed_dim if hidden_dim is None else hidden_dim
+        dims = [embed_dim] + [hidden_dim] * (num_layers - 1) + [1]
+        self.mlp = MLP(dims, rng=rng)
+
+    def forward(self, h_u: Tensor, h_v: Tensor) -> Tensor:
+        out = self.mlp(h_u * h_v)
+        return out.reshape(-1)
+
+
+class LinkPredictionModel(Module):
+    """GNN encoder + edge predictor, trained end to end.
+
+    This is "the model" that distributed workers replicate: its
+    ``state_dict`` is what model averaging exchanges and its gradients
+    are what gradient averaging reduces.
+    """
+
+    def __init__(self, encoder: GNNModel, predictor: Module) -> None:
+        super().__init__()
+        self.encoder = encoder
+        self.predictor = predictor
+
+    def embed(self, comp_graph: ComputationGraph,
+              features: np.ndarray) -> Tensor:
+        return self.encoder(comp_graph, features)
+
+    def score_pairs(self, embeddings: Tensor, pair_u: np.ndarray,
+                    pair_v: np.ndarray) -> Tensor:
+        """Score pairs given seed embeddings and row indices into them."""
+        h_u = gather(embeddings, np.asarray(pair_u, dtype=np.int64))
+        h_v = gather(embeddings, np.asarray(pair_v, dtype=np.int64))
+        return self.predictor(h_u, h_v)
+
+    def forward(self, comp_graph: ComputationGraph, features: np.ndarray,
+                pair_u: np.ndarray, pair_v: np.ndarray) -> Tensor:
+        return self.score_pairs(self.embed(comp_graph, features),
+                                pair_u, pair_v)
+
+
+def build_model(
+    gnn_type: str,
+    in_dim: int,
+    hidden_dim: int = 256,
+    num_layers: int = 3,
+    predictor: str = "mlp",
+    predictor_layers: int = 3,
+    dropout: float = 0.0,
+    num_heads: int = 1,
+    seed: Optional[int] = None,
+) -> LinkPredictionModel:
+    """Build the paper's default link-prediction model.
+
+    ``predictor`` is ``"mlp"`` (paper default, 3 layers) or ``"dot"``.
+    A fixed ``seed`` makes all workers start from identical weights,
+    matching the broadcast-initial-model step of Algorithm 1.
+    """
+    rng = np.random.default_rng(seed)
+    encoder = GNNModel(gnn_type, in_dim, hidden_dim, num_layers=num_layers,
+                       dropout=dropout, num_heads=num_heads, rng=rng)
+    if predictor == "mlp":
+        head: Module = MLPPredictor(hidden_dim, num_layers=predictor_layers,
+                                    rng=rng)
+    elif predictor == "dot":
+        head = DotPredictor()
+    else:
+        raise ValueError(f"unknown predictor {predictor!r}")
+    return LinkPredictionModel(encoder, head)

@@ -1,0 +1,57 @@
+"""Model checkpointing.
+
+Saves/loads a module's ``state_dict`` as a compressed ``.npz`` archive
+so trained link predictors can be shipped between processes or kept
+across sessions — the moral equivalent of ``torch.save``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+_META_KEY = "__repro_format__"
+_FORMAT_VERSION = "1"
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (npz, compressed)."""
+    payload = dict(state)
+    payload[_META_KEY] = np.array(_FORMAT_VERSION)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **payload)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state_dict`."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        keys = set(archive.files)
+        if _META_KEY not in keys:
+            raise ValueError(f"{path} is not a repro checkpoint")
+        version = str(archive[_META_KEY])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r}")
+        return {k: archive[k].copy() for k in keys if k != _META_KEY}
+
+
+def save_model(model: Module, path: str) -> None:
+    """Checkpoint a module's parameters."""
+    save_state_dict(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load parameters into an architecture-compatible module.
+
+    The module must already be built with matching shapes (the
+    checkpoint stores no architecture metadata, like a plain
+    ``state_dict`` file).
+    """
+    model.load_state_dict(load_state_dict(path))
+    return model

@@ -1,0 +1,55 @@
+"""Graph partitioning: mini-METIS, randomized baselines, worker storage."""
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .metis import edge_cut, metis_partition, partition_balance
+from .partitioned import PartitionedGraph
+from .randomized import random_tma_partition, super_tma_partition
+from .streaming import ldg_partition
+
+PartitionFn = Callable[..., np.ndarray]
+
+_STRATEGIES = {
+    "metis": metis_partition,
+    "random_tma": random_tma_partition,
+    "super_tma": super_tma_partition,
+    "ldg": ldg_partition,
+}
+
+PARTITION_STRATEGIES = tuple(_STRATEGIES)
+
+
+def partition_graph(
+    graph: Graph,
+    num_parts: int,
+    strategy: str = "metis",
+    rng: Optional[np.random.Generator] = None,
+    mirror: bool = False,
+) -> PartitionedGraph:
+    """Partition and distribute a graph in one call.
+
+    ``strategy`` is one of ``metis`` (edge-cut minimizing),
+    ``random_tma`` or ``super_tma``; ``mirror`` selects SpLPG's
+    full-neighbor storage (see :class:`PartitionedGraph`).
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {PARTITION_STRATEGIES}")
+    assignment = _STRATEGIES[strategy](graph, num_parts, rng=rng)
+    return PartitionedGraph.build(graph, assignment, num_parts, mirror=mirror)
+
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "PartitionedGraph",
+    "edge_cut",
+    "metis_partition",
+    "partition_balance",
+    "partition_graph",
+    "ldg_partition",
+    "random_tma_partition",
+    "super_tma_partition",
+]

@@ -1,0 +1,115 @@
+"""Partitioned graph: what each worker stores locally.
+
+All partition subgraphs live in the *global* node-id space (their CSR
+simply omits edges a worker does not store).  That keeps every id
+translation out of the training path and matches how the simulated
+cluster reasons about locality: a :class:`PartitionedGraph` knows, for
+every node, which worker owns it and which workers hold its features.
+
+Two storage modes, following the paper:
+
+* ``mirror=False`` — node-induced partitions: only edges with both
+  endpoints in the partition (the baselines; cross-partition edges are
+  lost, fragmenting neighbor lists).
+* ``mirror=True`` — SpLPG's strategy (Section IV-B): every edge
+  incident to an owned node is stored, so owned nodes keep their full
+  neighbor lists; the off-partition endpoints ("halo" nodes) are stored
+  together with their feature vectors at distribution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+
+@dataclass
+class PartitionedGraph:
+    """The result of distributing a graph across ``num_parts`` workers."""
+
+    full: Graph
+    assignment: np.ndarray
+    num_parts: int
+    mirror: bool
+    parts: List[Graph] = field(default_factory=list)
+    local_feature_nodes: List[np.ndarray] = field(default_factory=list)
+    _feature_mask: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(cls, graph: Graph, assignment: np.ndarray,
+              num_parts: int, mirror: bool) -> "PartitionedGraph":
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.size != graph.num_nodes:
+            raise ValueError("assignment must cover every node")
+        if assignment.size and (assignment.min() < 0
+                                or assignment.max() >= num_parts):
+            raise ValueError("assignment value out of range")
+        edges = graph.edge_list()
+        part_u = assignment[edges[:, 0]] if edges.size else np.zeros(0, int)
+        part_v = assignment[edges[:, 1]] if edges.size else np.zeros(0, int)
+
+        parts: List[Graph] = []
+        local_nodes: List[np.ndarray] = []
+        feature_mask = np.zeros((num_parts, graph.num_nodes), dtype=bool)
+        for i in range(num_parts):
+            owned = np.flatnonzero(assignment == i)
+            if mirror:
+                keep = (part_u == i) | (part_v == i)
+            else:
+                keep = (part_u == i) & (part_v == i)
+            local_edges = edges[keep]
+            # Structure only; features are answered via the mask below.
+            parts.append(Graph.from_edges(graph.num_nodes, local_edges))
+            halo = np.unique(local_edges.ravel()) if mirror else owned
+            stored = np.union1d(owned, halo)
+            local_nodes.append(stored)
+            feature_mask[i, stored] = True
+        return cls(full=graph, assignment=assignment, num_parts=num_parts,
+                   mirror=mirror, parts=parts,
+                   local_feature_nodes=local_nodes,
+                   _feature_mask=feature_mask)
+
+    # ------------------------------------------------------------------
+
+    def owned_nodes(self, part: int) -> np.ndarray:
+        return np.flatnonzero(self.assignment == part)
+
+    def owned_edges(self, part: int) -> np.ndarray:
+        """Undirected edges with at least one owned endpoint, each edge
+        assigned to exactly one partition (its lower-id endpoint's
+        owner) so that the union over partitions is a disjoint cover.
+        """
+        edges = self.full.edge_list()
+        if edges.size == 0:
+            return edges
+        owner = self.assignment[edges[:, 0]]
+        return edges[owner == part]
+
+    def local_graph(self, part: int) -> Graph:
+        """The structure a worker stores (global id space)."""
+        return self.parts[part]
+
+    def has_feature_locally(self, part: int, nodes: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of ``nodes`` have locally stored features."""
+        return self._feature_mask[part, np.asarray(nodes, dtype=np.int64)]
+
+    def preprocessing_feature_nbytes(self) -> int:
+        """Bytes of feature data shipped at distribution time (one-off).
+
+        Mirrored partitions replicate halo features; this quantifies
+        that overhead (it is *not* training-time communication).
+        """
+        if self.full.features is None:
+            return 0
+        per_node = self.full.features.shape[1] * self.full.features.itemsize
+        total_nodes = sum(n.size for n in self.local_feature_nodes)
+        return int(total_nodes) * int(per_node)
+
+    def replication_factor(self) -> float:
+        """Average number of workers storing each node's features."""
+        total = sum(n.size for n in self.local_feature_nodes)
+        return total / max(self.full.num_nodes, 1)

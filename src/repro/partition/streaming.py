@@ -1,0 +1,101 @@
+"""Streaming graph partitioning (Linear Deterministic Greedy).
+
+LDG (Stanton & Kliot, KDD 2012) assigns nodes one at a time: each node
+goes to the partition holding most of its already-placed neighbors,
+discounted by a linear capacity penalty.  It is the standard one-pass
+partitioner in streaming graph systems and sits between METIS
+(multi-pass, best cut) and RandomTMA (no structure) — a useful extra
+point for partitioner-quality ablations of SpLPG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+
+def ldg_partition(
+    graph: Graph,
+    num_parts: int,
+    rng: Optional[np.random.Generator] = None,
+    capacity_factor: float = 1.1,
+    order: str = "random",
+) -> np.ndarray:
+    """One-pass Linear Deterministic Greedy partitioning.
+
+    Parameters
+    ----------
+    capacity_factor:
+        Per-partition capacity as a multiple of the ideal
+        ``num_nodes / num_parts``; the linear penalty drives balance.
+    order:
+        Stream order: ``random`` (default, the common benchmark
+        setting), ``bfs`` (breadth-first from a random node — gives LDG
+        more placed-neighbor signal) or ``natural`` (node id order).
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if num_parts > graph.num_nodes:
+        raise ValueError("more partitions than nodes")
+    if num_parts == 1:
+        return np.zeros(graph.num_nodes, dtype=np.int64)
+    rng = rng or np.random.default_rng()
+    n = graph.num_nodes
+    capacity = capacity_factor * n / num_parts
+
+    if order == "random":
+        stream = rng.permutation(n)
+    elif order == "natural":
+        stream = np.arange(n)
+    elif order == "bfs":
+        stream = _bfs_order(graph, rng)
+    else:
+        raise ValueError(
+            f"unknown order {order!r}; choose random/bfs/natural")
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    loads = np.zeros(num_parts)
+    for node in stream:
+        nbrs = graph.neighbors(int(node))
+        placed = nbrs[assignment[nbrs] >= 0]
+        neighbor_counts = np.zeros(num_parts)
+        if placed.size:
+            np.add.at(neighbor_counts, assignment[placed], 1.0)
+        # LDG score: neighbors already there, discounted by fullness.
+        scores = neighbor_counts * (1.0 - loads / capacity)
+        # Full partitions are ineligible.
+        scores[loads >= capacity] = -np.inf
+        best = int(np.argmax(scores))
+        if scores[best] <= 0:
+            # No placed neighbors (or all candidates full): take the
+            # least-loaded eligible partition.
+            eligible = np.flatnonzero(loads < capacity)
+            best = int(eligible[np.argmin(loads[eligible])])
+        assignment[node] = best
+        loads[best] += 1.0
+    return assignment
+
+
+def _bfs_order(graph: Graph, rng: np.random.Generator) -> np.ndarray:
+    """Breadth-first visitation order covering all components."""
+    n = graph.num_nodes
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    pos = 0
+    for start in rng.permutation(n):
+        if visited[start]:
+            continue
+        queue = [int(start)]
+        visited[start] = True
+        while queue:
+            node = queue.pop(0)
+            order[pos] = node
+            pos += 1
+            for nbr in graph.neighbors(node):
+                if not visited[nbr]:
+                    visited[nbr] = True
+                    queue.append(int(nbr))
+    return order

@@ -1,0 +1,29 @@
+"""Mini-batch construction: neighbor sampling, negatives, edge loader."""
+
+from .blocks import Block, ComputationGraph, GraphNeighborSource, NeighborSource
+from .loader import EdgeBatchLoader
+from .negative import (
+    DegreeWeightedNegativeSampler,
+    EdgeMembership,
+    GlobalUniformNegativeSampler,
+    InBatchNegativeSampler,
+    PerSourceUniformNegativeSampler,
+    classify_negatives,
+)
+from .neighbor import NeighborSampler, sample_block
+
+__all__ = [
+    "Block",
+    "ComputationGraph",
+    "GraphNeighborSource",
+    "NeighborSource",
+    "EdgeBatchLoader",
+    "DegreeWeightedNegativeSampler",
+    "EdgeMembership",
+    "InBatchNegativeSampler",
+    "GlobalUniformNegativeSampler",
+    "PerSourceUniformNegativeSampler",
+    "classify_negatives",
+    "NeighborSampler",
+    "sample_block",
+]

@@ -1,0 +1,47 @@
+"""Mini-batch iteration over positive training edges.
+
+Mirrors DGL's ``EdgeDataLoader``: each epoch shuffles the positive edge
+set and yields fixed-size batches.  The training frameworks pair every
+batch with freshly drawn negative samples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class EdgeBatchLoader:
+    """Shuffled mini-batches of ``(batch_size, 2)`` positive edges."""
+
+    def __init__(
+        self,
+        edges: np.ndarray,
+        batch_size: int,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.shape[0] == 0:
+            raise ValueError("cannot iterate an empty edge set")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.edges = edges
+        self.batch_size = int(batch_size)
+        self.rng = rng or np.random.default_rng()
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        full, rem = divmod(self.edges.shape[0], self.batch_size)
+        if rem and not self.drop_last:
+            return full + 1
+        return max(full, 1 if not self.drop_last else full)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        order = self.rng.permutation(self.edges.shape[0])
+        for start in range(0, order.size, self.batch_size):
+            batch_idx = order[start:start + self.batch_size]
+            if batch_idx.size < self.batch_size and self.drop_last and start:
+                return
+            yield self.edges[batch_idx]

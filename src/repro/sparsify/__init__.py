@@ -1,0 +1,34 @@
+"""Effective-resistance graph sparsification (Spielman-Srivastava)."""
+
+from .effective_resistance import (
+    approx_effective_resistance,
+    laplacian_quadratic_form,
+    retained_edge_fraction,
+    sampling_probabilities,
+    sparsify_with_level,
+    spielman_srivastava_sparsify,
+)
+from .alternatives import (
+    SPARSIFIER_KINDS,
+    exact_er_sparsify,
+    sparsify_by_kind,
+    tree_plus_er_sparsify,
+    uniform_sparsify,
+)
+from .partition_sparsifier import SparsifiedPartitions, sparsify_partitions
+
+__all__ = [
+    "approx_effective_resistance",
+    "laplacian_quadratic_form",
+    "retained_edge_fraction",
+    "sampling_probabilities",
+    "sparsify_with_level",
+    "spielman_srivastava_sparsify",
+    "SPARSIFIER_KINDS",
+    "exact_er_sparsify",
+    "sparsify_by_kind",
+    "tree_plus_er_sparsify",
+    "uniform_sparsify",
+    "SparsifiedPartitions",
+    "sparsify_partitions",
+]

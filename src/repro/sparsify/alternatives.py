@@ -1,0 +1,156 @@
+"""Alternative sparsifiers for ablating SpLPG's design choice.
+
+The paper picks the *approximate* effective-resistance sparsifier
+(degree-based, Theorem 2) for its near-zero cost.  Two natural
+alternatives bracket that choice and are used by the ablation
+benchmarks:
+
+* :func:`uniform_sparsify` — importance-agnostic: sample edges
+  uniformly at random.  Cheaper still, but drops "important" (low
+  effective resistance mass) edges as readily as redundant ones.
+* :func:`exact_er_sparsify` — the other extreme: use the true
+  effective resistances from the Laplacian pseudo-inverse
+  (O(n^3) — small graphs only).  Upper-bounds what the approximation
+  could buy.
+
+All three share the Spielman-Srivastava reweighting so their outputs
+are interchangeable inside SpLPG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.laplacian import exact_effective_resistance
+from .effective_resistance import spielman_srivastava_sparsify
+
+
+def uniform_sparsify(
+    graph: Graph,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Sparsify by uniform-with-replacement edge sampling.
+
+    Equivalent to Spielman-Srivastava with a flat distribution; kept
+    edges get weight ``multiplicity * |E| / num_samples``.
+    """
+    if graph.num_edges == 0:
+        return Graph.empty(graph.num_nodes, features=graph.features)
+    probabilities = np.full(graph.num_edges, 1.0 / graph.num_edges)
+    return spielman_srivastava_sparsify(graph, num_samples, rng=rng,
+                                        probabilities=probabilities)
+
+
+def exact_er_sparsify(
+    graph: Graph,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Sparsify using exact effective resistances (paper Eq. (3)).
+
+    Computes the Laplacian pseudo-inverse — O(n^3) — so this is only
+    usable on small graphs; it exists to quantify how much the cheap
+    degree approximation gives up (empirically: almost nothing).
+    """
+    if graph.num_edges == 0:
+        return Graph.empty(graph.num_nodes, features=graph.features)
+    resistance = exact_effective_resistance(graph)
+    resistance = np.maximum(resistance, 1e-12)
+    probabilities = resistance / resistance.sum()
+    return spielman_srivastava_sparsify(graph, num_samples, rng=rng,
+                                        probabilities=probabilities)
+
+
+def tree_plus_er_sparsify(
+    graph: Graph,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Spanning-forest-anchored sparsifier.
+
+    Pure with-replacement sampling can disconnect a partition, leaving
+    some negative-sample destinations with empty sparsified
+    neighborhoods.  This variant first keeps a BFS spanning forest
+    (connectivity for free, |V|-c edges at weight 1), then spends the
+    remaining budget on effective-resistance sampling of the rest.
+    A natural "future work" improvement over the paper's sampler.
+    """
+    rng = rng or np.random.default_rng()
+    if graph.num_edges == 0:
+        return Graph.empty(graph.num_nodes, features=graph.features)
+    forest = _spanning_forest_edges(graph)
+    forest_keys = set(map(tuple, forest.tolist()))
+    edges = graph.edge_list()
+    rest_mask = np.array([tuple(e) not in forest_keys
+                          for e in edges.tolist()])
+    remaining_budget = max(num_samples - forest.shape[0], 0)
+
+    kept_edges = [forest]
+    kept_weights = [np.ones(forest.shape[0])]
+    if remaining_budget > 0 and rest_mask.any():
+        rest = edges[rest_mask]
+        rest_graph = Graph.from_edges(graph.num_nodes, rest)
+        # Probabilities from the *original* degrees so importance is
+        # judged in context, not within the leftover subgraph.
+        from .effective_resistance import approx_effective_resistance
+        approx = approx_effective_resistance(graph, rest)
+        probs = approx / approx.sum()
+        draws = rng.choice(rest.shape[0], size=remaining_budget, p=probs)
+        chosen, multiplicity = np.unique(draws, return_counts=True)
+        weights = multiplicity / (remaining_budget * probs[chosen])
+        kept_edges.append(rest[chosen])
+        kept_weights.append(weights)
+    return Graph.from_edges(
+        graph.num_nodes,
+        np.concatenate(kept_edges, axis=0),
+        features=graph.features,
+        edge_weights=np.concatenate(kept_weights),
+    )
+
+
+def _spanning_forest_edges(graph: Graph) -> np.ndarray:
+    """One BFS spanning tree per connected component."""
+    n = graph.num_nodes
+    visited = np.zeros(n, dtype=bool)
+    edges = []
+    for start in range(n):
+        if visited[start] or graph.degree(start) == 0:
+            continue
+        visited[start] = True
+        queue = [start]
+        while queue:
+            node = queue.pop(0)
+            for nbr in graph.neighbors(node):
+                if not visited[nbr]:
+                    visited[nbr] = True
+                    edges.append((min(node, int(nbr)),
+                                  max(node, int(nbr))))
+                    queue.append(int(nbr))
+    return (np.asarray(edges, dtype=np.int64) if edges
+            else np.zeros((0, 2), dtype=np.int64))
+
+
+SPARSIFIER_KINDS = ("approx_er", "exact_er", "uniform", "tree_er")
+
+
+def sparsify_by_kind(
+    kind: str,
+    graph: Graph,
+    num_samples: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Dispatch on sparsifier kind (used by the ablation experiment)."""
+    if kind == "approx_er":
+        return spielman_srivastava_sparsify(graph, num_samples, rng=rng)
+    if kind == "exact_er":
+        return exact_er_sparsify(graph, num_samples, rng=rng)
+    if kind == "uniform":
+        return uniform_sparsify(graph, num_samples, rng=rng)
+    if kind == "tree_er":
+        return tree_plus_er_sparsify(graph, num_samples, rng=rng)
+    raise ValueError(
+        f"unknown sparsifier {kind!r}; choose from {SPARSIFIER_KINDS}")

@@ -1,0 +1,71 @@
+"""Per-partition sparsification (Algorithm 1, lines 4-14).
+
+SpLPG sparsifies every partitioned subgraph independently — degrees and
+sampling probabilities are computed *within* each partition — and
+places the sparsified copies into the master's shared memory, where any
+worker can read them for drawing global negative samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..partition.partitioned import PartitionedGraph
+from .alternatives import sparsify_by_kind
+
+
+@dataclass
+class SparsifiedPartitions:
+    """Sparsified copies of every partition plus bookkeeping.
+
+    ``graphs[i]`` lives in the global node-id space like the partition
+    it came from; all partition nodes are preserved (only edges are
+    dropped), so the per-source negative-sampling space is unchanged.
+    """
+
+    graphs: List[Graph]
+    alpha: float
+    elapsed_seconds: float
+    kind: str = "approx_er"
+
+    def total_edges(self) -> int:
+        return sum(g.num_edges for g in self.graphs)
+
+
+def sparsify_partitions(
+    partitioned: PartitionedGraph,
+    alpha: float = 0.15,
+    rng: Optional[np.random.Generator] = None,
+    kind: str = "approx_er",
+) -> SparsifiedPartitions:
+    """Sparsify each partition's subgraph with level ``L^i = alpha |E^i|``.
+
+    The paper keys the sparsification level to each partition's own
+    edge count so the retained fraction is consistent across partitions
+    and datasets (Section V-A, "Hyperparameters").  ``kind`` selects the
+    sampling distribution: the paper's degree-based effective-resistance
+    approximation (``approx_er``, default), the exact effective
+    resistance (``exact_er``, small graphs only) or importance-agnostic
+    ``uniform`` sampling — the latter two exist for the design-choice
+    ablation.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = rng or np.random.default_rng()
+    started = time.perf_counter()
+    graphs: List[Graph] = []
+    for part in range(partitioned.num_parts):
+        sub = partitioned.local_graph(part)
+        if sub.num_edges == 0:
+            graphs.append(Graph.empty(sub.num_nodes))
+            continue
+        num_samples = max(1, int(round(alpha * sub.num_edges)))
+        graphs.append(sparsify_by_kind(kind, sub, num_samples, rng=rng))
+    elapsed = time.perf_counter() - started
+    return SparsifiedPartitions(graphs=graphs, alpha=alpha,
+                                elapsed_seconds=elapsed, kind=kind)

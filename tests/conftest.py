@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, load_dataset, split_edges, synthetic_lp_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path_graph():
+    """0 - 1 - 2 - 3 (path on 4 nodes)."""
+    return Graph.from_edges(4, [[0, 1], [1, 2], [2, 3]])
+
+
+@pytest.fixture
+def cycle_graph():
+    """5-cycle."""
+    return Graph.from_edges(5, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 0]])
+
+
+@pytest.fixture
+def triangle_graph():
+    return Graph.from_edges(3, [[0, 1], [1, 2], [0, 2]])
+
+
+@pytest.fixture
+def star_graph():
+    """Hub 0 with leaves 1..4."""
+    return Graph.from_edges(5, [[0, i] for i in range(1, 5)])
+
+
+@pytest.fixture
+def featured_graph(rng):
+    """Small community graph with features, for training tests."""
+    return synthetic_lp_graph(num_nodes=120, target_edges=420,
+                              feature_dim=16, num_communities=4, rng=rng)
+
+
+@pytest.fixture
+def small_split(featured_graph, rng):
+    return split_edges(featured_graph, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def cora_tiny():
+    """Session-cached scaled-down cora for integration tests."""
+    return load_dataset("cora", scale=0.1, feature_dim=24)
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f wrt array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        grad[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad

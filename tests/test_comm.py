@@ -1,0 +1,82 @@
+"""Communication meter arithmetic."""
+
+import pytest
+
+from repro.distributed import (
+    BYTES_PER_EDGE,
+    BYTES_PER_EDGE_WEIGHT,
+    BYTES_PER_NODE_ID,
+    FEATURE_ITEMSIZE,
+    GB,
+    CommMeter,
+    CommRecord,
+)
+
+
+class TestCommRecord:
+    def test_graph_data_excludes_sync(self):
+        rec = CommRecord(feature_bytes=10, structure_bytes=5, sync_bytes=100)
+        assert rec.graph_data_bytes == 15
+        assert rec.total_bytes == 115
+
+    def test_iadd(self):
+        a = CommRecord(1, 2, 3)
+        a += CommRecord(10, 20, 30)
+        assert (a.feature_bytes, a.structure_bytes, a.sync_bytes) == \
+            (11, 22, 33)
+
+
+class TestCommMeter:
+    def test_charge_features(self):
+        m = CommMeter()
+        m.charge_features(num_nodes=10, feature_dim=8)
+        assert m.current.feature_bytes == 10 * 8 * FEATURE_ITEMSIZE
+
+    def test_charge_structure_unweighted(self):
+        m = CommMeter()
+        m.charge_structure(num_edges=5, num_queried_nodes=3)
+        assert m.current.structure_bytes == \
+            5 * BYTES_PER_EDGE + 3 * BYTES_PER_NODE_ID
+
+    def test_charge_structure_weighted(self):
+        m = CommMeter()
+        m.charge_structure(num_edges=5, num_queried_nodes=0, weighted=True)
+        assert m.current.structure_bytes == \
+            5 * (BYTES_PER_EDGE + BYTES_PER_EDGE_WEIGHT)
+
+    def test_charge_sync_separate_bucket(self):
+        m = CommMeter()
+        m.charge_sync(1000)
+        assert m.current.graph_data_bytes == 0
+        assert m.current.sync_bytes == 1000
+
+    def test_epoch_rollover(self):
+        m = CommMeter()
+        m.charge_features(1, 1)
+        rec = m.end_epoch()
+        assert rec.feature_bytes == FEATURE_ITEMSIZE
+        assert m.current.feature_bytes == 0
+        assert len(m.epochs) == 1
+
+    def test_total_includes_open_epoch(self):
+        m = CommMeter()
+        m.charge_features(1, 1)
+        m.end_epoch()
+        m.charge_features(2, 1)
+        assert m.total().feature_bytes == 3 * FEATURE_ITEMSIZE
+
+    def test_gb_per_epoch(self):
+        m = CommMeter()
+        m.charge_features(1, 1)
+        m.end_epoch()
+        m.charge_features(3, 1)
+        m.end_epoch()
+        per_epoch = m.graph_data_gb_per_epoch()
+        assert per_epoch[0] == pytest.approx(4 / GB)
+        assert per_epoch[1] == pytest.approx(12 / GB)
+        assert m.mean_graph_data_gb() == pytest.approx(8 / GB)
+
+    def test_mean_without_closed_epoch(self):
+        m = CommMeter()
+        m.charge_features(1, 1)
+        assert m.mean_graph_data_gb() == pytest.approx(4 / GB)

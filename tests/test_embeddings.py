@@ -1,0 +1,131 @@
+"""DeepWalk / node2vec walks and skip-gram training."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    SkipGramEmbedding,
+    deepwalk_embedding,
+    node2vec_walks,
+    random_walks,
+    train_skipgram,
+    walk_context_pairs,
+)
+from repro.eval import auc
+from repro.graph import Graph
+
+
+class TestRandomWalks:
+    def test_shape(self, featured_graph, rng):
+        walks = random_walks(featured_graph, num_walks=3, walk_length=10,
+                             rng=rng)
+        assert walks.shape == (3 * featured_graph.num_nodes, 10)
+
+    def test_steps_follow_edges(self, featured_graph, rng):
+        walks = random_walks(featured_graph, num_walks=1, walk_length=8,
+                             rng=rng)
+        for walk in walks[:20]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert a == b or featured_graph.has_edge(int(a), int(b))
+
+    def test_isolated_node_stays(self, rng):
+        g = Graph.from_edges(3, [[0, 1]])
+        walks = random_walks(g, num_walks=1, walk_length=5, rng=rng)
+        isolated = walks[walks[:, 0] == 2]
+        assert np.all(isolated == 2)
+
+    def test_every_node_starts(self, featured_graph, rng):
+        walks = random_walks(featured_graph, num_walks=1, walk_length=3,
+                             rng=rng)
+        assert set(walks[:, 0].tolist()) == \
+            set(range(featured_graph.num_nodes))
+
+
+class TestNode2VecWalks:
+    def test_shape_and_validity(self, rng):
+        g = Graph.from_edges(6, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5],
+                                 [5, 0]])
+        walks = node2vec_walks(g, num_walks=2, walk_length=6, p=0.5,
+                               q=2.0, rng=rng)
+        assert walks.shape == (12, 6)
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert a == b or g.has_edge(int(a), int(b))
+
+    def test_low_p_returns_often(self, rng):
+        """p << 1 makes walks bounce back to the previous node."""
+        g = Graph.from_edges(10, [[0, i] for i in range(1, 10)])
+        bouncy = node2vec_walks(g, num_walks=2, walk_length=20, p=0.01,
+                                q=1.0, rng=np.random.default_rng(0))
+        free = node2vec_walks(g, num_walks=2, walk_length=20, p=100.0,
+                              q=1.0, rng=np.random.default_rng(0))
+
+        def return_rate(walks):
+            returns = (walks[:, 2:] == walks[:, :-2])
+            return returns.mean()
+
+        assert return_rate(bouncy) > return_rate(free)
+
+    def test_invalid_params(self, rng):
+        g = Graph.from_edges(3, [[0, 1], [1, 2]])
+        with pytest.raises(ValueError):
+            node2vec_walks(g, p=0.0, rng=rng)
+
+
+class TestContextPairs:
+    def test_window_pairs(self):
+        walks = np.array([[0, 1, 2]])
+        pairs = walk_context_pairs(walks, window=1)
+        as_set = set(map(tuple, pairs.tolist()))
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_window_two(self):
+        walks = np.array([[0, 1, 2]])
+        pairs = walk_context_pairs(walks, window=2)
+        as_set = set(map(tuple, pairs.tolist()))
+        assert (0, 2) in as_set and (2, 0) in as_set
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            walk_context_pairs(np.zeros((1, 3), dtype=np.int64), window=0)
+
+
+class TestSkipGram:
+    def test_embedding_shapes(self, rng):
+        pairs = rng.integers(0, 20, size=(500, 2))
+        emb = train_skipgram(20, pairs, dim=8, epochs=1, rng=rng)
+        assert emb.vectors.shape == (20, 8)
+        assert emb.dim == 8
+
+    def test_cooccurring_nodes_closer(self, rng):
+        """Nodes that always co-occur should end up more similar than
+        nodes that never do."""
+        # two cliques of contexts: {0..4} and {5..9}
+        pairs = []
+        for _ in range(400):
+            a, b = rng.integers(0, 5, size=2)
+            pairs.append([a, b])
+            a, b = rng.integers(5, 10, size=2)
+            pairs.append([a, b])
+        emb = train_skipgram(10, np.array(pairs), dim=16, epochs=6,
+                             negatives=4, rng=rng)
+        z = emb.vectors / np.linalg.norm(emb.vectors, axis=1,
+                                         keepdims=True)
+        same = float(z[0] @ z[1])
+        cross = float(z[0] @ z[6])
+        assert same > cross
+
+    def test_empty_pairs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            train_skipgram(5, np.zeros((0, 2), dtype=np.int64), rng=rng)
+
+
+class TestDeepWalkEndToEnd:
+    def test_beats_chance_on_link_prediction(self, small_split):
+        rng = np.random.default_rng(0)
+        emb = deepwalk_embedding(small_split.train_graph, dim=24,
+                                 num_walks=5, walk_length=15, epochs=2,
+                                 rng=rng)
+        pos = emb.score_pairs(small_split.test_pos)
+        neg = emb.score_pairs(small_split.test_neg)
+        assert auc(pos, neg) > 0.6

@@ -1,0 +1,159 @@
+"""Experiment runners: schema and basic invariants at smoke scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    format_rows,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_table2,
+    run_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return ExperimentScale.smoke()
+
+
+class TestExperimentScale:
+    def test_quick_vs_paper(self):
+        quick = ExperimentScale.quick()
+        paper = ExperimentScale.paper()
+        assert paper.dataset_scale == 1.0
+        assert paper.hidden_dim == 256
+        assert paper.fanouts == (25, 10, 5)
+        assert paper.batch_size == 256
+        assert quick.dataset_scale < 1.0
+
+    def test_train_config_overrides(self, smoke):
+        cfg = smoke.train_config(gnn_type="gcn", epochs=1)
+        assert cfg.gnn_type == "gcn"
+        assert cfg.epochs == 1
+        assert cfg.hidden_dim == smoke.hidden_dim
+
+    def test_load_split(self, smoke):
+        split = smoke.load_split("cora")
+        assert split.train_pos.shape[0] > 0
+
+    def test_format_rows(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}]
+        text = format_rows(rows, ["a", "b"])
+        assert "0.5000" in text and "22" in text
+
+
+class TestRunners:
+    def test_fig3_rows(self, smoke):
+        rows = run_fig3(datasets=("cora",), p_values=(2,), scale=smoke)
+        assert {r["framework"] for r in rows} == \
+            {"Centralized", "PSGD-PA", "LLCG", "RandomTMA", "SuperTMA"}
+        assert all(0 <= r["hits"] <= 1 for r in rows)
+
+    def test_fig4_rows(self, smoke):
+        rows = run_fig4(datasets=("cora",), p_values=(2,), scale=smoke)
+        plus = [r for r in rows if r["framework"].endswith("+")]
+        assert all(r["comm_gb_per_epoch"] > 0 for r in plus)
+        central = [r for r in rows if r["framework"] == "Centralized"]
+        assert central[0]["comm_gb_per_epoch"] == 0.0
+
+    def test_fig6_sparsified_loses_edges(self, smoke):
+        rows = run_fig6(datasets=("cora",), scale=smoke)
+        sparse = [r for r in rows if r["variant"] == "w/ sparsification"][0]
+        dense = [r for r in rows if r["variant"] == "w/o sparsification"][0]
+        assert sparse["edges_retained"] < 0.3
+        assert dense["edges_retained"] == 1.0
+
+    def test_table2_timings_positive(self, smoke):
+        rows = run_table2(datasets=("cora",), p_values=(2, 4), scale=smoke)
+        row = rows[0]
+        assert row["sparsify_s_p2"] > 0
+        assert row["sparsify_s_p4"] > 0
+
+    def test_fig8_savings(self, smoke):
+        rows = run_fig8(datasets=("cora",), p_values=(2,),
+                        gnn_types=("sage",), scale=smoke,
+                        baselines=("psgd_pa_plus",))
+        assert all(0 < r["saving"] <= 1 for r in rows)
+
+    def test_fig9_savings(self, smoke):
+        rows = run_fig9(datasets=("cora",), p_values=(2,), scale=smoke)
+        for r in rows:
+            assert r["splpg_gb"] < r["splpg_plus_gb"]
+            assert 0 < r["saving"] <= 1
+
+    def test_fig10_schema(self, smoke):
+        rows = run_fig10(datasets=("cora",), p_values=(2,), scale=smoke,
+                         baselines=("psgd_pa",))
+        assert {"splpg_hits", "baseline_hits", "improvement"} <= \
+            set(rows[0])
+
+    def test_fig11_schema(self, smoke):
+        rows = run_fig11(datasets=("cora",), p_values=(2,),
+                         gnn_types=("sage",), scale=smoke)
+        assert {"centralized_hits", "splpg_hits", "gap"} <= set(rows[0])
+
+    def test_fig12_ladder(self, smoke):
+        rows = run_fig12(datasets=("cora",), p=2, scale=smoke)
+        assert [r["variant"] for r in rows] == \
+            ["SpLPG--", "SpLPG-", "SpLPG", "SpLPG+"]
+
+    def test_fig13_comm_decreases_with_batch(self, smoke):
+        rows = run_fig13(dataset="cora", batch_sizes=(32, 256), p=2,
+                         scale=smoke)
+        assert rows[0]["comm_gb_per_epoch"] > rows[1]["comm_gb_per_epoch"]
+
+    def test_table3_more_alpha_less_saving(self, smoke):
+        rows = run_table3(dataset="cora", alphas=(0.05, 0.3),
+                          p_values=(2,), scale=smoke)
+        by_alpha = {r["alpha"]: r for r in rows}
+        assert by_alpha[0.05]["comm_saving"] > by_alpha[0.3]["comm_saving"]
+
+    def test_fig14_schema(self, smoke):
+        rows = run_fig14(datasets=("cora",), p=2, scale=smoke,
+                         gnn_types=("sage",),
+                         frameworks=("centralized", "splpg"))
+        assert len(rows) == 2
+        for r in rows:
+            assert isinstance(r["val_curve"], list)
+            assert len(r["val_curve"]) >= 1
+
+
+class TestRunFrameworkMean:
+    def test_averages_over_seeds(self, smoke):
+        from repro.experiments import run_framework_mean
+        split = smoke.load_split("cora")
+        config = smoke.train_config()
+        result = run_framework_mean("psgd_pa", split, 2, config,
+                                    seeds=(0, 1))
+        assert len(result.runs) == 2
+        manual = np.mean([r.test.hits for r in result.runs])
+        assert result.hits == pytest.approx(manual)
+        assert result.hits_std >= 0.0
+
+    def test_seeds_change_outcomes(self, smoke):
+        from repro.experiments import run_framework_mean
+        split = smoke.load_split("cora")
+        config = smoke.train_config()
+        result = run_framework_mean("psgd_pa", split, 2, config,
+                                    seeds=(0, 1))
+        a, b = result.runs
+        sa, sb = a.history[0].mean_loss, b.history[0].mean_loss
+        assert sa != sb  # different seeds → different trajectories
+
+    def test_val_curve_from_first_run(self, smoke):
+        from repro.experiments import run_framework_mean
+        split = smoke.load_split("cora")
+        config = smoke.train_config()
+        result = run_framework_mean("centralized", split, 1, config,
+                                    seeds=(0,))
+        assert result.val_curve == result.runs[0].val_curve()

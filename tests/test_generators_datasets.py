@@ -1,0 +1,256 @@
+"""Synthetic generators, named datasets, and edge splits."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DATASET_NAMES,
+    TABLE_I,
+    EdgeSplit,
+    chung_lu_graph,
+    community_graph,
+    dataset_spec,
+    latent_features,
+    load_dataset,
+    powerlaw_expected_degrees,
+    sample_non_edges,
+    split_edges,
+    synthetic_lp_graph,
+)
+from repro.sampling import EdgeMembership
+
+
+class TestPowerlawDegrees:
+    def test_total_degree_scaled(self, rng):
+        w = powerlaw_expected_degrees(500, 2000, rng=rng)
+        assert w.sum() == pytest.approx(4000.0)
+
+    def test_skewed(self, rng):
+        w = powerlaw_expected_degrees(2000, 8000, exponent=2.2, rng=rng)
+        assert w.max() / np.median(w) > 5
+
+    def test_invalid_exponent(self, rng):
+        with pytest.raises(ValueError):
+            powerlaw_expected_degrees(10, 20, exponent=1.0, rng=rng)
+
+    def test_invalid_nodes(self, rng):
+        with pytest.raises(ValueError):
+            powerlaw_expected_degrees(0, 20, rng=rng)
+
+
+class TestChungLu:
+    def test_edge_count_near_target(self, rng):
+        g = chung_lu_graph(500, 2000, rng=rng)
+        assert 0.8 * 2000 <= g.num_edges <= 2000
+
+    def test_no_self_loops(self, rng):
+        g = chung_lu_graph(100, 300, rng=rng)
+        edges = g.edge_list()
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_degree_skew(self, rng):
+        g = chung_lu_graph(1000, 5000, exponent=2.1, rng=rng)
+        deg = g.degrees
+        assert deg.max() > 4 * np.median(deg[deg > 0])
+
+
+class TestCommunityGraph:
+    def test_returns_assignment(self, rng):
+        g, comm = community_graph(300, 1200, num_communities=6, rng=rng)
+        assert comm.shape == (300,)
+        assert comm.max() < 6
+
+    def test_intra_fraction_respected(self, rng):
+        g, comm = community_graph(400, 2000, num_communities=4,
+                                  intra_fraction=0.9, rng=rng)
+        edges = g.edge_list()
+        intra = np.mean(comm[edges[:, 0]] == comm[edges[:, 1]])
+        assert intra > 0.7
+
+    def test_zero_intra_fraction(self, rng):
+        g, comm = community_graph(200, 600, num_communities=4,
+                                  intra_fraction=0.0, rng=rng)
+        edges = g.edge_list()
+        assert np.all(comm[edges[:, 0]] != comm[edges[:, 1]])
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            community_graph(100, 200, intra_fraction=1.5, rng=rng)
+
+
+class TestLatentFeatures:
+    def test_shape_dtype(self, rng):
+        comm = rng.integers(0, 4, size=50)
+        f = latent_features(50, 16, comm, rng=rng)
+        assert f.shape == (50, 16)
+        assert f.dtype == np.float32
+
+    def test_same_community_closer(self, rng):
+        comm = np.repeat(np.arange(4), 25)
+        f = latent_features(100, 32, comm, rng=rng, signal=2.0, noise=0.3)
+        same = np.linalg.norm(f[0] - f[1])
+        diff = np.linalg.norm(f[0] - f[99])
+        assert same < diff
+
+
+class TestSyntheticLPGraph:
+    def test_has_features(self, rng):
+        g = synthetic_lp_graph(200, 800, feature_dim=12, rng=rng)
+        assert g.feature_dim == 12
+
+
+class TestDatasets:
+    def test_all_names_present(self):
+        assert len(DATASET_NAMES) == 9
+        assert "cora" in DATASET_NAMES and "ppa" in DATASET_NAMES
+
+    def test_table1_statistics(self):
+        spec = dataset_spec("pubmed")
+        assert spec.num_nodes == 19_717
+        assert spec.num_edges == 88_651
+        assert spec.feature_dim == 500
+
+    def test_case_insensitive(self):
+        assert dataset_spec("Cora") is TABLE_I["cora"]
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dataset_spec("enron")
+
+    def test_scaling(self):
+        g = load_dataset("cora", scale=0.1, feature_dim=16)
+        spec = dataset_spec("cora")
+        assert abs(g.num_nodes - spec.num_nodes * 0.1) < 10
+        assert g.feature_dim == 16
+
+    def test_deterministic(self):
+        a = load_dataset("citeseer", scale=0.05, feature_dim=8)
+        b = load_dataset("citeseer", scale=0.05, feature_dim=8)
+        assert np.array_equal(a.edge_list(), b.edge_list())
+        assert np.allclose(a.features, b.features)
+
+    def test_different_names_different_graphs(self):
+        a = load_dataset("cora", scale=0.05, feature_dim=8)
+        b = load_dataset("citeseer", scale=0.05, feature_dim=8)
+        assert a.num_nodes != b.num_nodes or \
+            not np.array_equal(a.edge_list(), b.edge_list())
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("cora", scale=0.0)
+
+    def test_full_feature_dim_default(self):
+        g = load_dataset("cora", scale=0.02)
+        assert g.feature_dim == dataset_spec("cora").feature_dim
+
+
+class TestSplits:
+    def test_fractions(self, featured_graph, rng):
+        split = split_edges(featured_graph, rng=rng)
+        m = featured_graph.num_edges
+        assert split.train_pos.shape[0] == pytest.approx(0.8 * m, abs=2)
+        assert split.val_pos.shape[0] == pytest.approx(0.1 * m, abs=2)
+
+    def test_disjoint_positives(self, featured_graph, rng):
+        split = split_edges(featured_graph, rng=rng)
+        def keys(e):
+            lo = np.minimum(e[:, 0], e[:, 1])
+            hi = np.maximum(e[:, 0], e[:, 1])
+            return set((lo * featured_graph.num_nodes + hi).tolist())
+        k_train, k_val, k_test = map(keys, (split.train_pos, split.val_pos,
+                                            split.test_pos))
+        assert not (k_train & k_val) and not (k_train & k_test)
+        assert not (k_val & k_test)
+        assert len(k_train | k_val | k_test) == featured_graph.num_edges
+
+    def test_train_graph_has_only_train_edges(self, featured_graph, rng):
+        split = split_edges(featured_graph, rng=rng)
+        assert split.train_graph.num_edges == split.train_pos.shape[0]
+        assert split.train_graph.num_nodes == featured_graph.num_nodes
+
+    def test_negative_ratio(self, featured_graph, rng):
+        split = split_edges(featured_graph, neg_ratio=3, rng=rng)
+        assert split.val_neg.shape[0] == 3 * split.val_pos.shape[0]
+        assert split.test_neg.shape[0] == 3 * split.test_pos.shape[0]
+
+    def test_negatives_are_non_edges(self, featured_graph, rng):
+        split = split_edges(featured_graph, rng=rng)
+        membership = EdgeMembership(featured_graph)
+        assert not membership.contains_many(split.val_neg).any()
+        assert not membership.contains_many(split.test_neg).any()
+
+    def test_val_test_negatives_disjoint(self, featured_graph, rng):
+        split = split_edges(featured_graph, rng=rng)
+        n = featured_graph.num_nodes
+        def keys(e):
+            lo = np.minimum(e[:, 0], e[:, 1])
+            hi = np.maximum(e[:, 0], e[:, 1])
+            return set((lo * n + hi).tolist())
+        assert not (keys(split.val_neg) & keys(split.test_neg))
+
+    def test_invalid_fractions(self, featured_graph, rng):
+        with pytest.raises(ValueError):
+            split_edges(featured_graph, train_frac=0.9, val_frac=0.2, rng=rng)
+        with pytest.raises(ValueError):
+            split_edges(featured_graph, train_frac=0.0, rng=rng)
+
+    def test_tiny_graph_rejected(self, rng):
+        from repro.graph import Graph
+        g = Graph.from_edges(3, [[0, 1]])
+        with pytest.raises(ValueError):
+            split_edges(g, rng=rng)
+
+
+class TestSampleNonEdges:
+    def test_count_and_validity(self, featured_graph, rng):
+        neg = sample_non_edges(featured_graph, 50, rng=rng)
+        assert neg.shape == (50, 2)
+        membership = EdgeMembership(featured_graph)
+        assert not membership.contains_many(neg).any()
+
+    def test_distinct(self, featured_graph, rng):
+        neg = sample_non_edges(featured_graph, 100, rng=rng)
+        n = featured_graph.num_nodes
+        keys = neg[:, 0] * n + neg[:, 1]
+        assert np.unique(keys).size == 100
+
+    def test_exclusion(self, featured_graph, rng):
+        first = sample_non_edges(featured_graph, 40, rng=rng)
+        second = sample_non_edges(featured_graph, 40, rng=rng, exclude=first)
+        n = featured_graph.num_nodes
+        k1 = set((first[:, 0] * n + first[:, 1]).tolist())
+        k2 = set((second[:, 0] * n + second[:, 1]).tolist())
+        assert not (k1 & k2)
+
+    def test_impossible_count_rejected(self, triangle_graph, rng):
+        with pytest.raises(ValueError):
+            sample_non_edges(triangle_graph, 10, rng=rng)
+
+
+class TestSplitConventions:
+    def test_dgl_convention(self):
+        from repro.graph import split_convention
+        conv = split_convention("pubmed")
+        assert conv["train_frac"] == 0.8
+        assert conv["hits_k"] == 100
+
+    def test_ogb_conventions(self):
+        from repro.graph import split_convention
+        assert split_convention("collab")["hits_k"] == 50
+        assert split_convention("collab")["train_frac"] == 0.92
+        assert split_convention("ppa")["train_frac"] == 0.90
+
+    def test_load_dataset_split(self):
+        from repro.graph import load_dataset_split
+        split, k = load_dataset_split("cora", scale=0.08, feature_dim=8)
+        assert k == 100
+        m = (split.train_pos.shape[0] + split.val_pos.shape[0]
+             + split.test_pos.shape[0])
+        assert split.train_pos.shape[0] / m == pytest.approx(0.8, abs=0.02)
+
+    def test_load_dataset_split_deterministic(self):
+        from repro.graph import load_dataset_split
+        a, _ = load_dataset_split("cora", scale=0.08, feature_dim=8)
+        b, _ = load_dataset_split("cora", scale=0.08, feature_dim=8)
+        assert np.array_equal(a.train_pos, b.train_pos)
+        assert np.array_equal(a.test_neg, b.test_neg)

@@ -1,0 +1,119 @@
+"""Classical link-prediction heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    HEURISTICS,
+    adamic_adar,
+    auc,
+    common_neighbors,
+    heuristic_score,
+    jaccard,
+    katz_index,
+    preferential_attachment,
+    resource_allocation,
+)
+from repro.graph import Graph
+
+
+@pytest.fixture
+def square_with_diagonal():
+    """0-1-2-3-0 cycle plus the 0-2 chord."""
+    return Graph.from_edges(4, [[0, 1], [1, 2], [2, 3], [3, 0], [0, 2]])
+
+
+class TestCommonNeighbors:
+    def test_counts(self, square_with_diagonal):
+        # N(1) = {0,2}, N(3) = {0,2} -> 2 common
+        out = common_neighbors(square_with_diagonal, np.array([[1, 3]]))
+        assert out[0] == 2.0
+
+    def test_no_common(self, path_graph):
+        out = common_neighbors(path_graph, np.array([[0, 1]]))
+        assert out[0] == 0.0
+
+
+class TestJaccard:
+    def test_value(self, square_with_diagonal):
+        # N(1) = {0,2}, N(3) = {0,2}: J = 2/2 = 1
+        out = jaccard(square_with_diagonal, np.array([[1, 3]]))
+        assert out[0] == 1.0
+
+    def test_isolated_pair_zero(self):
+        g = Graph.from_edges(4, [[0, 1]])
+        out = jaccard(g, np.array([[2, 3]]))
+        assert out[0] == 0.0
+
+
+class TestAdamicAdarRA:
+    def test_adamic_adar_weighting(self, square_with_diagonal):
+        # witnesses for (1,3): nodes 0 (deg 3) and 2 (deg 3)
+        out = adamic_adar(square_with_diagonal, np.array([[1, 3]]))
+        assert out[0] == pytest.approx(2.0 / np.log(3.0))
+
+    def test_resource_allocation(self, square_with_diagonal):
+        out = resource_allocation(square_with_diagonal, np.array([[1, 3]]))
+        assert out[0] == pytest.approx(2.0 / 3.0)
+
+    def test_degree_one_witness_skipped(self):
+        # witness w has degree... make a path u-w-v: d_w = 2 fine;
+        # a pendant witness cannot exist for a common neighbor, so
+        # check deg-1 guard via a direct edge case instead.
+        g = Graph.from_edges(3, [[0, 1], [1, 2]])
+        out = adamic_adar(g, np.array([[0, 2]]))
+        assert out[0] == pytest.approx(1.0 / np.log(2.0))
+
+
+class TestPreferentialAttachment:
+    def test_product(self, star_graph):
+        out = preferential_attachment(star_graph, np.array([[0, 1], [1, 2]]))
+        assert out.tolist() == [4.0, 1.0]
+
+
+class TestKatz:
+    def test_direct_edge_dominates(self, path_graph):
+        scores = katz_index(path_graph, np.array([[0, 1], [0, 3]]),
+                            beta=0.1)
+        assert scores[0] > scores[1] > 0
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges(4, [[0, 1], [2, 3]])
+        scores = katz_index(g, np.array([[0, 2]]))
+        assert scores[0] == 0.0
+
+    def test_beta_scaling(self, path_graph):
+        lo = katz_index(path_graph, np.array([[0, 2]]), beta=0.01)
+        hi = katz_index(path_graph, np.array([[0, 2]]), beta=0.1)
+        assert hi[0] > lo[0]
+
+
+class TestDispatch:
+    def test_all_registered(self):
+        assert set(HEURISTICS) == {
+            "common_neighbors", "jaccard", "adamic_adar",
+            "resource_allocation", "preferential_attachment", "katz"}
+
+    def test_unknown(self, path_graph):
+        with pytest.raises(ValueError):
+            heuristic_score("simrank", path_graph, np.array([[0, 1]]))
+
+    @pytest.mark.parametrize("name", sorted(HEURISTICS))
+    def test_shapes(self, name, featured_graph):
+        pairs = featured_graph.edge_list()[:10]
+        out = heuristic_score(name, featured_graph, pairs)
+        assert out.shape == (10,)
+        assert np.all(np.isfinite(out))
+
+
+class TestPredictivePower:
+    def test_heuristics_beat_chance_on_community_graph(self, small_split):
+        """On a held-out split, neighborhood heuristics should score
+        positives above random negatives (AUC > 0.5)."""
+        graph = small_split.train_graph
+        pos = small_split.test_pos
+        neg = small_split.test_neg
+        for name in ("common_neighbors", "adamic_adar", "katz"):
+            pos_scores = heuristic_score(name, graph, pos)
+            neg_scores = heuristic_score(name, graph, neg)
+            assert auc(pos_scores, neg_scores) > 0.55, name

@@ -1,0 +1,123 @@
+"""Laplacian and exact effective resistance (validates Theorems 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    exact_effective_resistance,
+    laplacian,
+    laplacian_pseudoinverse,
+    normalized_laplacian,
+    spectral_gap,
+)
+from repro.sparsify import approx_effective_resistance
+
+
+class TestLaplacian:
+    def test_row_sums_zero(self, cycle_graph):
+        lap = laplacian(cycle_graph).toarray()
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_diagonal_is_degree(self, star_graph):
+        lap = laplacian(star_graph).toarray()
+        assert np.allclose(np.diag(lap), star_graph.degrees)
+
+    def test_positive_semidefinite(self, rng):
+        g = Graph.from_edges(6, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5],
+                                 [5, 0], [0, 3]])
+        eigvals = np.linalg.eigvalsh(laplacian(g).toarray())
+        assert eigvals.min() > -1e-10
+
+    def test_weighted_laplacian(self):
+        g = Graph.from_edges(2, [[0, 1]], edge_weights=[4.0])
+        lap = laplacian(g).toarray()
+        assert np.allclose(lap, [[4.0, -4.0], [-4.0, 4.0]])
+
+    def test_normalized_eigenvalues_bounded(self, cycle_graph):
+        lsym = normalized_laplacian(cycle_graph).toarray()
+        eigvals = np.linalg.eigvalsh(lsym)
+        assert eigvals.min() > -1e-10
+        assert eigvals.max() <= 2.0 + 1e-10
+
+    def test_normalized_isolated_node(self):
+        g = Graph.from_edges(3, [[0, 1]])
+        lsym = normalized_laplacian(g).toarray()
+        assert np.allclose(lsym[2], 0.0)
+
+    def test_pseudoinverse_property(self, cycle_graph):
+        lap = laplacian(cycle_graph).toarray()
+        pinv = laplacian_pseudoinverse(cycle_graph)
+        assert np.allclose(lap @ pinv @ lap, lap, atol=1e-8)
+
+
+class TestExactEffectiveResistance:
+    def test_single_edge(self):
+        g = Graph.from_edges(2, [[0, 1]])
+        assert np.allclose(exact_effective_resistance(g), [1.0])
+
+    def test_path_resistance_is_length(self, path_graph):
+        # Series resistors: r(0,3) = 3.
+        r = exact_effective_resistance(path_graph, np.array([[0, 3]]))
+        assert np.allclose(r, [3.0])
+
+    def test_cycle_resistance(self, cycle_graph):
+        # 5-cycle edge: 1 ohm parallel with 4 ohms = 4/5.
+        r = exact_effective_resistance(cycle_graph)
+        assert np.allclose(r, 0.8)
+
+    def test_complete_graph(self):
+        n = 5
+        edges = [[i, j] for i in range(n) for j in range(i + 1, n)]
+        g = Graph.from_edges(n, edges)
+        # K_n edge resistance = 2/n.
+        r = exact_effective_resistance(g)
+        assert np.allclose(r, 2.0 / n)
+
+    def test_parallel_edges_via_weights(self):
+        # weight-2 edge = two parallel unit resistors = 1/2 ohm.
+        g = Graph.from_edges(2, [[0, 1]], edge_weights=[2.0])
+        assert np.allclose(exact_effective_resistance(g), [0.5])
+
+    def test_defaults_to_all_edges(self, triangle_graph):
+        r = exact_effective_resistance(triangle_graph)
+        assert r.shape == (3,)
+        assert np.allclose(r, 2.0 / 3.0)
+
+
+class TestTheorem2Bounds:
+    """1/2 (1/du + 1/dv) <= r_uv <= (1/gamma)(1/du + 1/dv)."""
+
+    @pytest.mark.parametrize("fixture", ["cycle_graph", "triangle_graph",
+                                         "path_graph", "star_graph"])
+    def test_bounds_hold(self, fixture, request):
+        g = request.getfixturevalue(fixture)
+        edges = g.edge_list()
+        exact = exact_effective_resistance(g, edges)
+        approx = approx_effective_resistance(g, edges)
+        gamma = spectral_gap(g)
+        assert np.all(exact >= 0.5 * approx - 1e-9)
+        assert np.all(exact <= approx / gamma + 1e-9)
+
+    def test_bounds_on_random_graph(self, rng):
+        from repro.graph import chung_lu_graph
+        g = chung_lu_graph(40, 120, rng=rng)
+        # restrict to the giant component's edges (ER needs connectivity)
+        edges = g.edge_list()
+        exact = exact_effective_resistance(g, edges)
+        approx = approx_effective_resistance(g, edges)
+        # The lower bound holds unconditionally.
+        assert np.all(exact >= 0.5 * approx - 1e-9)
+
+
+class TestSpectralGap:
+    def test_complete_graph_gap(self):
+        n = 4
+        edges = [[i, j] for i in range(n) for j in range(i + 1, n)]
+        g = Graph.from_edges(n, edges)
+        # K_n normalized Laplacian eigenvalues: 0, n/(n-1) x (n-1).
+        assert np.isclose(spectral_gap(g), n / (n - 1))
+
+    def test_disconnected_graph_zero_gap(self):
+        g = Graph.from_edges(4, [[0, 1], [2, 3]])
+        assert np.isclose(spectral_gap(g), 0.0, atol=1e-9)

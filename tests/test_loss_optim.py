@@ -1,0 +1,133 @@
+"""Loss function and optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Parameter, SGD, Tensor, bce_with_logits
+
+
+class TestBCEWithLogits:
+    def test_value_matches_manual(self):
+        s = np.array([0.5, -1.0, 2.0])
+        y = np.array([1.0, 0.0, 1.0])
+        expected = np.mean(np.maximum(s, 0) - s * y + np.log1p(np.exp(-np.abs(s))))
+        loss = bce_with_logits(Tensor(s), y)
+        assert loss.item() == pytest.approx(expected)
+
+    def test_perfect_prediction_low_loss(self):
+        s = np.array([50.0, -50.0])
+        y = np.array([1.0, 0.0])
+        assert bce_with_logits(Tensor(s), y).item() < 1e-10
+
+    def test_gradient_is_sigmoid_minus_label(self):
+        s = np.array([0.3, -0.7, 1.5])
+        y = np.array([1.0, 0.0, 0.0])
+        logits = Tensor(s, requires_grad=True)
+        bce_with_logits(logits, y, reduction="sum").backward()
+        expected = 1.0 / (1.0 + np.exp(-s)) - y
+        np.testing.assert_allclose(logits.grad, expected, rtol=1e-12)
+
+    def test_mean_reduction_scales_gradient(self):
+        s = np.array([1.0, 1.0])
+        logits = Tensor(s, requires_grad=True)
+        bce_with_logits(logits, np.array([1.0, 1.0])).backward()
+        expected = (1.0 / (1.0 + np.exp(-s)) - 1.0) / 2
+        np.testing.assert_allclose(logits.grad, expected)
+
+    def test_none_reduction(self):
+        s = np.array([0.0, 0.0])
+        loss = bce_with_logits(Tensor(s), np.array([1.0, 0.0]),
+                               reduction="none")
+        assert loss.shape == (2,)
+        assert np.allclose(loss.data, np.log(2.0))
+
+    def test_extreme_logits_stable(self):
+        s = np.array([1000.0, -1000.0])
+        loss = bce_with_logits(Tensor(s), np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(Tensor(np.zeros(2)), np.zeros(3))
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(Tensor(np.zeros(2)), np.zeros(2),
+                            reduction="median")
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0]))
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(0.95)
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-1.0)
+        p.grad = np.array([1.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-1.0 - 1.9)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.5, weight_decay=0.1).step()
+        assert p.data[0] == pytest.approx(2.0 - 0.5 * 0.2)
+
+    def test_skips_none_grad(self):
+        p = Parameter(np.array([1.0]))
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        # Bias-corrected Adam's first step is ~lr regardless of grad scale.
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1e-3])
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            opt.zero_grad()
+            p.grad = 2.0 * (p.data - 2.0)
+            opt.step()
+        assert p.data[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_zero_grad_clears(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.ones(2)
+        Adam([p]).zero_grad()
+        assert p.grad is None
+
+    def test_trains_model_end_to_end(self, rng):
+        # Logistic regression on separable data must fit.
+        from repro.nn import Linear, sigmoid
+        x = rng.standard_normal((64, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.float64)
+        layer = Linear(2, 1, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            out = layer(Tensor(x)).reshape(-1)
+            loss = bce_with_logits(out, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1

@@ -1,0 +1,109 @@
+"""Unit tests for the multilevel partitioner's internal stages."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.partition.metis import (
+    _coarsen,
+    _greedy_initial_partition,
+    _heavy_edge_matching,
+    _refine,
+    _to_coarse,
+    edge_cut,
+)
+
+
+@pytest.fixture
+def two_triangles():
+    """Two triangles joined by a single light edge."""
+    return Graph.from_edges(6, [[0, 1], [1, 2], [0, 2],
+                                [3, 4], [4, 5], [3, 5], [2, 3]])
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self, two_triangles, rng):
+        g = _to_coarse(two_triangles)
+        match = _heavy_edge_matching(g, rng)
+        for u in range(g.num_nodes):
+            assert match[match[u]] == u
+
+    def test_matching_prefers_heavy_edges(self, rng):
+        # node 0 has a weight-10 edge to 1 and weight-1 edge to 2
+        g = Graph.from_edges(3, [[0, 1], [0, 2]], edge_weights=[10.0, 1.0])
+        matched_01 = 0
+        for seed in range(20):
+            match = _heavy_edge_matching(
+                _to_coarse(g), np.random.default_rng(seed))
+            if match[0] == 1:
+                matched_01 += 1
+        # 0-1 is chosen whenever node 0 or 1 is visited first (prob 2/3);
+        # only "2 first" (prob 1/3) can steal node 0.
+        assert matched_01 >= 10
+
+    def test_isolated_node_self_matched(self, rng):
+        g = Graph.from_edges(3, [[0, 1]])
+        match = _heavy_edge_matching(_to_coarse(g), rng)
+        assert match[2] == 2
+
+
+class TestCoarsen:
+    def test_node_weights_conserved(self, two_triangles, rng):
+        g = _to_coarse(two_triangles)
+        match = _heavy_edge_matching(g, rng)
+        coarse, mapping = _coarsen(g, match)
+        assert coarse.node_weight.sum() == g.node_weight.sum()
+        assert mapping.shape == (6,)
+        assert mapping.max() == coarse.num_nodes - 1
+
+    def test_edge_weight_conserved_minus_internal(self, two_triangles, rng):
+        g = _to_coarse(two_triangles)
+        match = _heavy_edge_matching(g, rng)
+        coarse, mapping = _coarsen(g, match)
+        # Total directed edge weight shrinks exactly by collapsed
+        # (intra-pair) edges.
+        internal = sum(
+            1.0 for u in range(6)
+            for v in two_triangles.neighbors(u)
+            if match[u] == v
+        )
+        assert coarse.edge_weight.sum() == pytest.approx(
+            g.edge_weight.sum() - internal)
+
+    def test_coarse_graph_halves(self, rng):
+        # perfect matching on a cycle halves the node count
+        g = Graph.from_edges(8, [[i, (i + 1) % 8] for i in range(8)])
+        cg = _to_coarse(g)
+        match = _heavy_edge_matching(cg, rng)
+        coarse, _ = _coarsen(cg, match)
+        assert coarse.num_nodes == 4
+
+
+class TestInitialPartition:
+    def test_covers_and_balances(self, rng):
+        g = _to_coarse(Graph.from_edges(
+            12, [[i, (i + 1) % 12] for i in range(12)]))
+        assign = _greedy_initial_partition(g, 3, rng)
+        assert assign.min() >= 0 and assign.max() <= 2
+        counts = np.bincount(assign, minlength=3)
+        assert counts.max() <= 8  # roughly balanced on a cycle
+
+
+class TestRefine:
+    def test_refinement_never_worsens_cut(self, two_triangles, rng):
+        g = _to_coarse(two_triangles)
+        # adversarial start: split each triangle across partitions
+        assign = np.array([0, 1, 0, 1, 0, 1])
+        before = edge_cut(two_triangles, assign)
+        refined = _refine(g, assign.copy(), 2, balance_factor=1.4,
+                          passes=4)
+        after = edge_cut(two_triangles, refined)
+        assert after <= before
+
+    def test_refinement_finds_natural_cut(self, two_triangles, rng):
+        g = _to_coarse(two_triangles)
+        assign = np.array([0, 1, 0, 1, 0, 1])
+        refined = _refine(g, assign.copy(), 2, balance_factor=1.4,
+                          passes=8)
+        # the natural bisection cuts exactly the bridge edge
+        assert edge_cut(two_triangles, refined) == 1

@@ -1,0 +1,80 @@
+"""Extension negative samplers: degree-weighted and in-batch."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.sampling import (
+    DegreeWeightedNegativeSampler,
+    EdgeMembership,
+    InBatchNegativeSampler,
+)
+
+
+@pytest.fixture
+def hub_graph():
+    """Node 0 is a hub (degree 10); 11..20 form a path (low degree)."""
+    edges = [[0, i] for i in range(1, 11)]
+    edges += [[i, i + 1] for i in range(11, 20)]
+    return Graph.from_edges(21, edges)
+
+
+class TestDegreeWeighted:
+    def test_avoids_edges(self, featured_graph, rng):
+        sampler = DegreeWeightedNegativeSampler(featured_graph, rng=rng)
+        sources = featured_graph.edge_list()[:50, 0]
+        pairs = sampler.sample(sources)
+        assert not EdgeMembership(featured_graph).contains_many(pairs).any()
+
+    def test_prefers_high_degree_destinations(self, hub_graph):
+        rng = np.random.default_rng(0)
+        # sources from the far path so the hub is a valid negative
+        sampler = DegreeWeightedNegativeSampler(hub_graph, beta=1.0,
+                                                rng=rng)
+        draws = sampler.sample(np.full(4000, 20, dtype=np.int64))
+        hub_rate = np.mean(draws[:, 1] == 0)
+        # hub has degree 10 of total degree 38 -> ~26% mass, far above
+        # the uniform 1/21.
+        assert hub_rate > 0.15
+
+    def test_beta_zero_is_uniformish(self, hub_graph):
+        rng = np.random.default_rng(1)
+        sampler = DegreeWeightedNegativeSampler(hub_graph, beta=0.0,
+                                                rng=rng)
+        draws = sampler.sample(np.full(6000, 20, dtype=np.int64))
+        hub_rate = np.mean(draws[:, 1] == 0)
+        assert hub_rate < 0.12  # ~1/21 plus rejection effects
+
+    def test_candidate_restriction(self, featured_graph, rng):
+        candidates = np.arange(10, 30)
+        sampler = DegreeWeightedNegativeSampler(
+            featured_graph, candidates=candidates, rng=rng)
+        pairs = sampler.sample(np.zeros(40, dtype=np.int64))
+        assert np.all((pairs[:, 1] >= 10) & (pairs[:, 1] < 30))
+
+    def test_empty_candidates_rejected(self, featured_graph, rng):
+        with pytest.raises(ValueError):
+            DegreeWeightedNegativeSampler(
+                featured_graph, candidates=np.array([], dtype=np.int64))
+
+
+class TestInBatch:
+    def test_sources_preserved(self, featured_graph, rng):
+        sampler = InBatchNegativeSampler(featured_graph, rng=rng)
+        batch = featured_graph.edge_list()[:32]
+        pairs = sampler.sample(batch)
+        assert np.array_equal(pairs[:, 0], batch[:, 0])
+
+    def test_no_positives_leak(self, featured_graph, rng):
+        sampler = InBatchNegativeSampler(featured_graph, rng=rng)
+        batch = featured_graph.edge_list()[:64]
+        pairs = sampler.sample(batch)
+        assert not EdgeMembership(featured_graph).contains_many(pairs).any()
+
+    def test_destinations_mostly_from_batch(self, featured_graph, rng):
+        sampler = InBatchNegativeSampler(featured_graph, rng=rng)
+        batch = featured_graph.edge_list()[:64]
+        pairs = sampler.sample(batch)
+        batch_dst = set(batch[:, 1].tolist())
+        in_batch = np.mean([int(d) in batch_dst for d in pairs[:, 1]])
+        assert in_batch > 0.8

@@ -1,0 +1,185 @@
+"""Partitioning: mini-METIS, randomized baselines, worker storage."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, load_dataset, synthetic_lp_graph
+from repro.partition import (
+    PartitionedGraph,
+    edge_cut,
+    metis_partition,
+    partition_balance,
+    partition_graph,
+    random_tma_partition,
+    super_tma_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def community_g():
+    rng = np.random.default_rng(7)
+    return synthetic_lp_graph(num_nodes=400, target_edges=1600,
+                              feature_dim=8, num_communities=8,
+                              intra_fraction=0.9, rng=rng)
+
+
+class TestMetis:
+    def test_assignment_covers_all_nodes(self, community_g, rng):
+        a = metis_partition(community_g, 4, rng=rng)
+        assert a.shape == (community_g.num_nodes,)
+        assert set(np.unique(a)) == {0, 1, 2, 3}
+
+    def test_k1_trivial(self, community_g, rng):
+        a = metis_partition(community_g, 1, rng=rng)
+        assert np.all(a == 0)
+
+    def test_more_parts_than_nodes_rejected(self, rng):
+        g = Graph.from_edges(3, [[0, 1], [1, 2]])
+        with pytest.raises(ValueError):
+            metis_partition(g, 10, rng=rng)
+
+    def test_invalid_k(self, community_g, rng):
+        with pytest.raises(ValueError):
+            metis_partition(community_g, 0, rng=rng)
+
+    def test_beats_random_cut(self, community_g):
+        rng = np.random.default_rng(3)
+        metis_cut = edge_cut(community_g,
+                             metis_partition(community_g, 4, rng=rng))
+        random_cut = edge_cut(community_g,
+                              random_tma_partition(community_g, 4, rng=rng))
+        assert metis_cut < 0.5 * random_cut
+
+    def test_balance(self, community_g, rng):
+        a = metis_partition(community_g, 4, rng=rng, balance_factor=1.10)
+        assert partition_balance(a, 4) <= 1.35  # refinement slack
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_various_k(self, community_g, rng, k):
+        a = metis_partition(community_g, k, rng=rng)
+        assert np.unique(a).size == k
+
+    def test_disconnected_graph(self, rng):
+        g = Graph.from_edges(8, [[0, 1], [1, 2], [4, 5], [5, 6]])
+        a = metis_partition(g, 2, rng=rng)
+        assert a.shape == (8,)
+
+    def test_star_graph_no_infinite_loop(self, rng):
+        # Matching stalls on stars; coarsening must terminate.
+        g = Graph.from_edges(200, [[0, i] for i in range(1, 200)])
+        a = metis_partition(g, 2, rng=rng)
+        assert a.shape == (200,)
+
+
+class TestRandomized:
+    def test_random_tma_no_empty_parts(self, community_g, rng):
+        a = random_tma_partition(community_g, 8, rng=rng)
+        assert np.unique(a).size == 8
+
+    def test_random_tma_roughly_balanced(self, community_g, rng):
+        a = random_tma_partition(community_g, 4, rng=rng)
+        assert partition_balance(a, 4) < 1.35
+
+    def test_super_tma_cut_between_metis_and_random(self, community_g):
+        """SuperTMA keeps mini-clusters intact, so its cut sits between
+        METIS (lowest) and RandomTMA (highest)."""
+        rng = np.random.default_rng(11)
+        cut_metis = edge_cut(community_g,
+                             metis_partition(community_g, 4, rng=rng))
+        cut_super = edge_cut(community_g,
+                             super_tma_partition(community_g, 4, rng=rng))
+        cut_random = edge_cut(community_g,
+                              random_tma_partition(community_g, 4, rng=rng))
+        assert cut_metis < cut_super < cut_random
+
+    def test_super_tma_no_empty_parts(self, community_g, rng):
+        a = super_tma_partition(community_g, 4, rng=rng)
+        assert np.unique(a).size == 4
+
+    def test_invalid_num_parts(self, community_g, rng):
+        with pytest.raises(ValueError):
+            random_tma_partition(community_g, 0, rng=rng)
+        with pytest.raises(ValueError):
+            super_tma_partition(community_g, 0, rng=rng)
+
+
+class TestPartitionedGraph:
+    def test_induced_drops_cross_edges(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=False)
+        total_local = sum(p.num_edges for p in pg.parts)
+        cut = edge_cut(community_g, pg.assignment)
+        assert total_local == community_g.num_edges - cut
+
+    def test_mirrored_duplicates_cross_edges(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=True)
+        total_local = sum(p.num_edges for p in pg.parts)
+        cut = edge_cut(community_g, pg.assignment)
+        assert total_local == community_g.num_edges + cut
+
+    def test_mirrored_full_neighbor_lists(self, community_g, rng):
+        """Every owned node's local degree equals its global degree."""
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=True)
+        for part in range(4):
+            owned = pg.owned_nodes(part)
+            local = pg.local_graph(part)
+            assert np.array_equal(local.degrees[owned],
+                                  community_g.degrees[owned])
+
+    def test_induced_fragment_neighbor_lists(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=False)
+        local_deg_sum = sum(int(pg.local_graph(p).degrees.sum())
+                            for p in range(4))
+        assert local_deg_sum < int(community_g.degrees.sum())
+
+    def test_owned_nodes_partition_the_graph(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng)
+        all_owned = np.concatenate([pg.owned_nodes(p) for p in range(4)])
+        assert np.array_equal(np.sort(all_owned),
+                              np.arange(community_g.num_nodes))
+
+    def test_owned_edges_disjoint_cover(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=True)
+        chunks = [pg.owned_edges(p) for p in range(4)]
+        total = sum(c.shape[0] for c in chunks)
+        assert total == community_g.num_edges
+
+    def test_feature_locality_mirrored(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=True)
+        part0 = pg.local_graph(0)
+        halo_nodes = np.unique(part0.edge_list().ravel())
+        assert pg.has_feature_locally(0, halo_nodes).all()
+
+    def test_feature_locality_induced(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=False)
+        owned = pg.owned_nodes(1)
+        other = pg.owned_nodes(2)
+        assert pg.has_feature_locally(1, owned).all()
+        assert not pg.has_feature_locally(1, other).any()
+
+    def test_replication_factor(self, community_g, rng):
+        induced = partition_graph(community_g, 4, "metis", rng=rng)
+        mirrored = partition_graph(community_g, 4, "metis", rng=rng,
+                                   mirror=True)
+        assert induced.replication_factor() == pytest.approx(1.0)
+        assert mirrored.replication_factor() > 1.0
+
+    def test_preprocessing_feature_bytes(self, community_g, rng):
+        pg = partition_graph(community_g, 4, "metis", rng=rng, mirror=True)
+        per_node = community_g.feature_dim * 4
+        expected = sum(n.size for n in pg.local_feature_nodes) * per_node
+        assert pg.preprocessing_feature_nbytes() == expected
+
+    def test_bad_assignment_length(self, community_g):
+        with pytest.raises(ValueError):
+            PartitionedGraph.build(community_g, np.zeros(3, dtype=np.int64),
+                                   2, mirror=False)
+
+    def test_bad_assignment_values(self, community_g):
+        a = np.zeros(community_g.num_nodes, dtype=np.int64)
+        a[0] = 9
+        with pytest.raises(ValueError):
+            PartitionedGraph.build(community_g, a, 2, mirror=False)
+
+    def test_unknown_strategy(self, community_g, rng):
+        with pytest.raises(ValueError):
+            partition_graph(community_g, 4, "spectral", rng=rng)

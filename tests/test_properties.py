@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.eval import auc, hits_at_k
+from repro.graph import Graph, exact_effective_resistance, laplacian
+from repro.nn import Tensor, bce_with_logits, segment_softmax, segment_sum
+from repro.partition import (
+    PartitionedGraph,
+    edge_cut,
+    metis_partition,
+    random_tma_partition,
+)
+from repro.sparsify import (
+    approx_effective_resistance,
+    sampling_probabilities,
+    spielman_srivastava_sparsify,
+)
+
+common_settings = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw, min_nodes=3, max_nodes=24):
+    """Connected-ish simple undirected graphs as (num_nodes, edges)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    # Spanning-path backbone guarantees no isolated nodes.
+    backbone = [(i, i + 1) for i in range(n - 1)]
+    extra_count = draw(st.integers(0, n))
+    extras = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=extra_count, max_size=extra_count))
+    edges = backbone + [e for e in extras if e[0] != e[1]]
+    return n, np.asarray(edges, dtype=np.int64)
+
+
+class TestGraphProperties:
+    @common_settings
+    @given(random_graphs())
+    def test_edge_list_roundtrip(self, g):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        rebuilt = Graph.from_edges(n, graph.edge_list())
+        assert np.array_equal(graph.edge_list(), rebuilt.edge_list())
+        assert np.array_equal(graph.indptr, rebuilt.indptr)
+
+    @common_settings
+    @given(random_graphs())
+    def test_degree_sum_is_twice_edges(self, g):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        assert graph.degrees.sum() == 2 * graph.num_edges
+
+    @common_settings
+    @given(random_graphs())
+    def test_adjacency_symmetric(self, g):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        adj = graph.adjacency().toarray()
+        assert np.allclose(adj, adj.T)
+
+    @common_settings
+    @given(random_graphs())
+    def test_laplacian_psd(self, g):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        eigvals = np.linalg.eigvalsh(laplacian(graph).toarray())
+        assert eigvals.min() >= -1e-9
+
+
+class TestEffectiveResistanceProperties:
+    @common_settings
+    @given(random_graphs(max_nodes=16))
+    def test_lower_bound_theorem2(self, g):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        e = graph.edge_list()
+        exact = exact_effective_resistance(graph, e)
+        approx = approx_effective_resistance(graph, e)
+        assert np.all(exact >= 0.5 * approx - 1e-8)
+
+    @common_settings
+    @given(random_graphs(max_nodes=16))
+    def test_resistance_at_most_one_for_edges(self, g):
+        """For an edge (u,v), r_uv <= 1 (shorting through the edge)."""
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        exact = exact_effective_resistance(graph)
+        assert np.all(exact <= 1.0 + 1e-8)
+
+    @common_settings
+    @given(random_graphs(max_nodes=16), st.integers(0, 2**31 - 1))
+    def test_sparsifier_invariants(self, g, seed):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        rng = np.random.default_rng(seed)
+        m = graph.num_edges
+        sparse = spielman_srivastava_sparsify(graph, 2 * m, rng=rng)
+        # nodes preserved, edges subset, weights positive
+        assert sparse.num_nodes == n
+        orig = set(map(tuple, graph.edge_list().tolist()))
+        assert all(tuple(e) in orig for e in sparse.edge_list().tolist())
+        assert np.all(sparse.edge_weight_list() > 0)
+
+    @common_settings
+    @given(random_graphs(max_nodes=16))
+    def test_probabilities_sum_to_one(self, g):
+        n, edges = g
+        graph = Graph.from_edges(n, edges)
+        p = sampling_probabilities(graph)
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestPartitionProperties:
+    @common_settings
+    @given(random_graphs(min_nodes=8, max_nodes=40),
+           st.integers(2, 4), st.integers(0, 2**31 - 1))
+    def test_metis_cover_and_range(self, g, k, seed):
+        n, edges = g
+        assume(n >= 2 * k)
+        graph = Graph.from_edges(n, edges)
+        a = metis_partition(graph, k, rng=np.random.default_rng(seed))
+        assert a.shape == (n,)
+        assert a.min() >= 0 and a.max() < k
+
+    @common_settings
+    @given(random_graphs(min_nodes=8, max_nodes=30),
+           st.integers(2, 3), st.integers(0, 2**31 - 1))
+    def test_partition_edge_conservation(self, g, k, seed):
+        """induced-local + cut = total; mirrored-local - cut = total."""
+        n, edges = g
+        assume(n >= 2 * k)
+        graph = Graph.from_edges(n, edges)
+        rng = np.random.default_rng(seed)
+        a = random_tma_partition(graph, k, rng=rng)
+        cut = edge_cut(graph, a)
+        induced = PartitionedGraph.build(graph, a, k, mirror=False)
+        mirrored = PartitionedGraph.build(graph, a, k, mirror=True)
+        assert sum(p.num_edges for p in induced.parts) == \
+            graph.num_edges - cut
+        assert sum(p.num_edges for p in mirrored.parts) == \
+            graph.num_edges + cut
+
+
+class TestAutogradProperties:
+    @common_settings
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=16),
+           st.lists(st.floats(-10, 10), min_size=1, max_size=16))
+    def test_addition_commutes(self, xs, ys):
+        size = min(len(xs), len(ys))
+        a = Tensor(np.array(xs[:size]))
+        b = Tensor(np.array(ys[:size]))
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @common_settings
+    @given(st.integers(1, 30), st.integers(1, 5),
+           st.integers(0, 2**31 - 1))
+    def test_segment_sum_conserves_mass(self, rows, segments, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((rows, 2))
+        seg = rng.integers(0, segments, size=rows)
+        out = segment_sum(Tensor(x), seg, segments)
+        assert np.allclose(out.data.sum(axis=0), x.sum(axis=0))
+
+    @common_settings
+    @given(st.integers(1, 30), st.integers(1, 4),
+           st.integers(0, 2**31 - 1))
+    def test_segment_softmax_rows_sum_to_one(self, rows, segments, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((rows, 1)) * 5
+        seg = rng.integers(0, segments, size=rows)
+        out = segment_softmax(Tensor(x), seg, segments)
+        sums = np.zeros(segments)
+        np.add.at(sums, seg, out.data.ravel())
+        occupied = np.bincount(seg, minlength=segments) > 0
+        assert np.allclose(sums[occupied], 1.0)
+
+    @common_settings
+    @given(st.lists(st.floats(-20, 20), min_size=1, max_size=16),
+           st.integers(0, 2**31 - 1))
+    def test_bce_nonnegative(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=len(logits)).astype(float)
+        loss = bce_with_logits(Tensor(np.array(logits)), labels)
+        assert loss.item() >= 0.0
+
+
+class TestMetricProperties:
+    @common_settings
+    @given(st.integers(1, 50), st.integers(1, 200),
+           st.integers(0, 2**31 - 1))
+    def test_hits_in_unit_interval(self, n_pos, n_neg, seed):
+        rng = np.random.default_rng(seed)
+        pos, neg = rng.standard_normal(n_pos), rng.standard_normal(n_neg)
+        h = hits_at_k(pos, neg, k=min(n_neg, 20))
+        assert 0.0 <= h <= 1.0
+
+    @common_settings
+    @given(st.integers(1, 50), st.integers(1, 50),
+           st.integers(0, 2**31 - 1))
+    def test_auc_complement_symmetry(self, n_pos, n_neg, seed):
+        rng = np.random.default_rng(seed)
+        pos, neg = rng.standard_normal(n_pos), rng.standard_normal(n_neg)
+        assert auc(pos, neg) == pytest.approx(1.0 - auc(neg, pos))
+
+    @common_settings
+    @given(st.integers(1, 50), st.integers(1, 50),
+           st.floats(0.1, 10.0), st.integers(0, 2**31 - 1))
+    def test_auc_invariant_to_monotone_transform(self, n_pos, n_neg,
+                                                 scale, seed):
+        rng = np.random.default_rng(seed)
+        pos, neg = rng.standard_normal(n_pos), rng.standard_normal(n_neg)
+        assert auc(pos, neg) == pytest.approx(auc(pos * scale, neg * scale))

@@ -1,0 +1,157 @@
+"""Property-based tests for samplers, loader and comm arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import CommMeter, CommRecord
+from repro.graph import Graph
+from repro.sampling import (
+    EdgeBatchLoader,
+    EdgeMembership,
+    GraphNeighborSource,
+    NeighborSampler,
+    PerSourceUniformNegativeSampler,
+    sample_block,
+)
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs_with_room(draw):
+    """Graphs sparse enough that negative sampling always succeeds."""
+    n = draw(st.integers(8, 30))
+    extra = draw(st.integers(0, n))
+    backbone = [(i, i + 1) for i in range(n - 1)]
+    extras = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=extra, max_size=extra))
+    edges = backbone + [e for e in extras if e[0] != e[1]]
+    graph = Graph.from_edges(n, np.asarray(edges, dtype=np.int64))
+    assume(graph.num_edges < n * (n - 1) // 4)
+    return graph
+
+
+class TestLoaderProperties:
+    @common_settings
+    @given(st.integers(1, 40), st.integers(1, 15),
+           st.integers(0, 2**31 - 1))
+    def test_batches_partition_the_edges(self, m, batch_size, seed):
+        edges = np.arange(2 * m).reshape(m, 2)
+        loader = EdgeBatchLoader(edges, batch_size,
+                                 rng=np.random.default_rng(seed))
+        seen = np.concatenate(list(loader))
+        assert seen.shape == edges.shape
+        assert sorted(map(tuple, seen.tolist())) == \
+            sorted(map(tuple, edges.tolist()))
+
+    @common_settings
+    @given(st.integers(1, 40), st.integers(1, 15),
+           st.integers(0, 2**31 - 1))
+    def test_len_matches_iteration(self, m, batch_size, seed):
+        edges = np.arange(2 * m).reshape(m, 2)
+        loader = EdgeBatchLoader(edges, batch_size,
+                                 rng=np.random.default_rng(seed))
+        assert len(list(loader)) == len(loader)
+
+
+class TestNegativeSamplerProperties:
+    @common_settings
+    @given(graphs_with_room(), st.integers(0, 2**31 - 1))
+    def test_never_emits_edges(self, graph, seed):
+        # The sampler is deliberately non-strict after max_rounds
+        # rejection rounds (DGL semantics); with a generous round
+        # budget and a capped max degree, a surviving collision would
+        # need ~2^-64 luck, so the property is effectively exact.
+        assume(graph.degrees.max() <= graph.num_nodes // 2)
+        rng = np.random.default_rng(seed)
+        sampler = PerSourceUniformNegativeSampler(graph, rng=rng,
+                                                  max_rounds=64)
+        sources = graph.edge_list()[:, 0]
+        pairs = sampler.sample(sources)
+        assert not EdgeMembership(graph).contains_many(pairs).any()
+
+    @common_settings
+    @given(graphs_with_room(), st.integers(0, 2**31 - 1))
+    def test_sources_unchanged(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        sampler = PerSourceUniformNegativeSampler(graph, rng=rng)
+        sources = np.arange(graph.num_nodes // 2, dtype=np.int64)
+        pairs = sampler.sample(sources)
+        assert np.array_equal(pairs[:, 0], sources)
+
+
+class TestBlockProperties:
+    @common_settings
+    @given(graphs_with_room(), st.integers(1, 6),
+           st.integers(0, 2**31 - 1))
+    def test_block_edges_exist_in_graph(self, graph, fanout, seed):
+        rng = np.random.default_rng(seed)
+        seeds = np.arange(min(5, graph.num_nodes), dtype=np.int64)
+        block = sample_block(GraphNeighborSource(graph), seeds, fanout,
+                             rng)
+        for s, d in zip(block.edge_src, block.edge_dst):
+            u = int(block.src_nodes[s])
+            v = int(block.src_nodes[d])
+            assert graph.has_edge(u, v)
+
+    @common_settings
+    @given(graphs_with_room(), st.integers(1, 4),
+           st.integers(0, 2**31 - 1))
+    def test_fanout_bound_per_destination(self, graph, fanout, seed):
+        rng = np.random.default_rng(seed)
+        seeds = np.arange(min(6, graph.num_nodes), dtype=np.int64)
+        block = sample_block(GraphNeighborSource(graph), seeds, fanout,
+                             rng)
+        counts = np.bincount(block.edge_dst, minlength=block.num_dst)
+        assert counts.max(initial=0) <= fanout
+
+    @common_settings
+    @given(graphs_with_room(), st.integers(0, 2**31 - 1))
+    def test_layer_chain_invariant(self, graph, seed):
+        rng = np.random.default_rng(seed)
+        sampler = NeighborSampler([3, 2], rng=rng)
+        seeds = np.arange(min(4, graph.num_nodes), dtype=np.int64)
+        cg = sampler.sample(graph, seeds)
+        # each block's dst set equals the next block's seed prefix
+        assert np.array_equal(
+            cg.blocks[0].src_nodes[:cg.blocks[0].num_dst],
+            cg.blocks[1].src_nodes)
+        assert np.array_equal(cg.blocks[1].dst_nodes, cg.seeds)
+
+
+class TestCommProperties:
+    @common_settings
+    @given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 1000),
+                              st.integers(0, 1000)),
+                    min_size=1, max_size=10))
+    def test_total_equals_sum_of_epochs(self, charges):
+        meter = CommMeter()
+        expected = CommRecord()
+        for feat_nodes, edges, sync in charges:
+            meter.charge_features(feat_nodes, 4)
+            meter.charge_structure(edges, 1)
+            meter.charge_sync(sync)
+            expected += CommRecord(
+                feature_bytes=feat_nodes * 16,
+                structure_bytes=edges * 16 + 8,
+                sync_bytes=sync)
+            meter.end_epoch()
+        total = meter.total()
+        assert total.feature_bytes == expected.feature_bytes
+        assert total.structure_bytes == expected.structure_bytes
+        assert total.sync_bytes == expected.sync_bytes
+
+    @common_settings
+    @given(st.integers(0, 10**6), st.integers(0, 10**6),
+           st.integers(0, 10**6))
+    def test_graph_data_excludes_sync_always(self, f, s, y):
+        rec = CommRecord(feature_bytes=f, structure_bytes=s, sync_bytes=y)
+        assert rec.graph_data_bytes == f + s
+        assert rec.total_bytes == f + s + y

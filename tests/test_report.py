@@ -1,0 +1,73 @@
+"""run_all report orchestrator and CLI 'all' path."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    EXTENSION_EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    ExperimentScale,
+    run_all,
+    save_report,
+)
+
+
+class TestRegistry:
+    def test_paper_experiments_complete(self):
+        expected = {"fig3", "fig4", "fig6", "table2", "fig8", "fig9",
+                    "fig10", "fig11", "fig12", "fig13", "table3", "fig14"}
+        assert set(PAPER_EXPERIMENTS) == expected
+
+    def test_extensions_registered(self):
+        assert "sparsifier_ablation" in EXTENSION_EXPERIMENTS
+        assert "negative_sampler_ablation" in EXTENSION_EXPERIMENTS
+
+
+class TestRunAll:
+    def test_subset_runs(self):
+        scale = ExperimentScale.smoke()
+        report = run_all(scale=scale, only=["fig9", "fig13"])
+        assert set(report) == {"fig9", "fig13"}
+        for entry in report.values():
+            assert entry["rows"]
+            assert entry["seconds"] > 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(only=["fig99"])
+
+    def test_progress_callback(self):
+        scale = ExperimentScale.smoke()
+        seen = []
+        run_all(scale=scale, only=["fig13"], progress=seen.append)
+        assert seen == ["fig13"]
+
+    def test_save_report_json(self, tmp_path):
+        scale = ExperimentScale.smoke()
+        report = run_all(scale=scale, only=["fig9"])
+        path = str(tmp_path / "report.json")
+        save_report(report, path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert "fig9" in loaded
+        assert loaded["fig9"]["rows"]
+
+
+class TestCLIAll:
+    def test_cli_all_with_json(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import report as report_mod
+        from repro.experiments.__main__ import main
+
+        # Patch run_all so the CLI test stays fast.
+        def fake_run_all(scale=None, include_extensions=False,
+                         progress=None):
+            if progress:
+                progress("fig9")
+            return {"fig9": {"rows": [{"a": 1}], "seconds": 0.1}}
+
+        monkeypatch.setattr(report_mod, "run_all", fake_run_all)
+        path = str(tmp_path / "out.json")
+        assert main(["all", "--json", path]) == 0
+        with open(path) as fh:
+            assert "fig9" in json.load(fh)

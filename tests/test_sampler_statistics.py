@@ -1,0 +1,94 @@
+"""Statistical tests on the samplers' distributions.
+
+These check that the samplers draw from the distributions the paper's
+semantics require — uniformity of negative destinations over the
+candidate set, fanout selection uniformity over neighbors, and the
+sparsifier's sampling frequencies matching its probability vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.sampling import (
+    GlobalUniformNegativeSampler,
+    GraphNeighborSource,
+    PerSourceUniformNegativeSampler,
+    sample_block,
+)
+from repro.sparsify import sampling_probabilities
+
+
+class TestPerSourceUniformity:
+    def test_destinations_uniform_over_candidates(self):
+        """chi^2-style check: destination counts over a candidate set
+        should be flat for a source with no candidate neighbors."""
+        g = Graph.from_edges(52, [[50, 51]])  # nodes 0..49 isolated
+        rng = np.random.default_rng(0)
+        sampler = PerSourceUniformNegativeSampler(
+            g, candidates=np.arange(50), rng=rng)
+        draws = sampler.sample(np.full(20_000, 50, dtype=np.int64))
+        counts = np.bincount(draws[:, 1], minlength=50)
+        expected = 20_000 / 50
+        # all counts within 5 sigma of the binomial expectation
+        sigma = np.sqrt(expected * (1 - 1 / 50))
+        assert np.all(np.abs(counts - expected) < 5 * sigma)
+
+    def test_excluded_neighbors_get_zero_mass(self):
+        # star: source 0 connected to 1..9; candidates 1..19
+        g = Graph.from_edges(20, [[0, i] for i in range(1, 10)])
+        rng = np.random.default_rng(1)
+        sampler = PerSourceUniformNegativeSampler(
+            g, candidates=np.arange(1, 20), rng=rng)
+        draws = sampler.sample(np.zeros(5000, dtype=np.int64))
+        assert np.all(draws[:, 1] >= 10)  # neighbors rejected
+
+
+class TestGlobalUniformity:
+    def test_endpoint_marginals_flat(self):
+        g = Graph.from_edges(40, [[0, 1]])
+        rng = np.random.default_rng(2)
+        sampler = GlobalUniformNegativeSampler(g, rng=rng)
+        pairs = sampler.sample(20_000)
+        counts = np.bincount(pairs.ravel(), minlength=40)
+        expected = 2 * 20_000 / 40
+        sigma = np.sqrt(expected)
+        assert np.all(np.abs(counts - expected) < 6 * sigma)
+
+
+class TestFanoutUniformity:
+    def test_each_neighbor_equally_likely(self):
+        """fanout-2 of a degree-6 hub: each neighbor appears with
+        probability 1/3 per draw."""
+        g = Graph.from_edges(7, [[0, i] for i in range(1, 7)])
+        source = GraphNeighborSource(g)
+        rng = np.random.default_rng(3)
+        counts = np.zeros(7)
+        trials = 6000
+        for _ in range(trials):
+            block = sample_block(source, np.array([0]), fanout=2, rng=rng)
+            sampled = block.src_nodes[block.edge_src]
+            counts[sampled] += 1
+        probs = counts[1:] / (2 * trials)
+        assert np.allclose(probs, 1.0 / 6.0, atol=0.02)
+
+
+class TestSparsifierFrequencies:
+    def test_sampling_matches_probability_vector(self):
+        """Empirical edge pick frequency tracks p ∝ 1/du + 1/dv."""
+        # lollipop: a clique (low resistance edges) plus a path (high)
+        edges = [[i, j] for i in range(6) for j in range(i + 1, 6)]
+        edges += [[5, 6], [6, 7], [7, 8]]
+        g = Graph.from_edges(9, edges)
+        probs = sampling_probabilities(g)
+        edge_list = g.edge_list()
+        rng = np.random.default_rng(4)
+        draws = rng.choice(edge_list.shape[0], size=50_000, p=probs)
+        freq = np.bincount(draws, minlength=edge_list.shape[0]) / 50_000
+        assert np.allclose(freq, probs, atol=0.01)
+        # And the path edges must dominate the clique edges.
+        path_idx = [i for i, e in enumerate(edge_list.tolist())
+                    if e in ([5, 6], [6, 7], [7, 8])]
+        clique_idx = [i for i in range(edge_list.shape[0])
+                      if i not in path_idx]
+        assert probs[path_idx].min() > probs[clique_idx].max()

@@ -1,0 +1,102 @@
+"""Softmax / log-softmax / cross-entropy ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Tensor,
+    cross_entropy,
+    gather_cols,
+    log_softmax,
+    softmax,
+)
+
+from conftest import numeric_gradient
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        out = softmax(x, axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_stability(self):
+        x = Tensor(np.array([[1000.0, 1001.0]]))
+        out = softmax(x)
+        assert np.all(np.isfinite(out.data))
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.standard_normal((3, 5)))
+        assert np.allclose(log_softmax(x).data,
+                           np.log(softmax(x).data))
+
+    def test_softmax_gradcheck(self, rng):
+        x0 = rng.standard_normal((3, 4))
+        proj = rng.standard_normal((3, 4))
+
+        def scalar():
+            return float((softmax(Tensor(x0), axis=1).data * proj).sum())
+
+        t = Tensor(x0, requires_grad=True)
+        (softmax(t, axis=1) * Tensor(proj)).sum().backward()
+        num = numeric_gradient(scalar, x0)
+        np.testing.assert_allclose(t.grad, num, rtol=1e-5, atol=1e-6)
+
+    def test_log_softmax_gradcheck(self, rng):
+        x0 = rng.standard_normal((3, 4))
+        proj = rng.standard_normal((3, 4))
+
+        def scalar():
+            return float((log_softmax(Tensor(x0), axis=1).data
+                          * proj).sum())
+
+        t = Tensor(x0, requires_grad=True)
+        (log_softmax(t, axis=1) * Tensor(proj)).sum().backward()
+        num = numeric_gradient(scalar, x0)
+        np.testing.assert_allclose(t.grad, num, rtol=1e-5, atol=1e-6)
+
+
+class TestGatherCols:
+    def test_values(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4))
+        out = gather_cols(x, np.array([0, 2, 3]))
+        assert out.data.tolist() == [0.0, 6.0, 11.0]
+
+    def test_gradient(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        cols = np.array([1, 1, 0])
+        gather_cols(x, cols).sum().backward()
+        expected = np.zeros((3, 4))
+        expected[np.arange(3), cols] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction(self):
+        logits = Tensor(np.array([[50.0, 0.0], [0.0, 50.0]]))
+        labels = np.array([0, 1])
+        assert cross_entropy(logits, labels).item() < 1e-10
+
+    def test_uniform_prediction(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = cross_entropy(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.zeros(3, dtype=np.int64))
+
+    def test_trains_classifier(self, rng):
+        """Linear softmax classifier fits a separable 3-class problem."""
+        from repro.nn import Adam, Linear
+        x = rng.standard_normal((90, 2)) + \
+            np.repeat(np.array([[0, 0], [5, 0], [0, 5]]), 30, axis=0)
+        y = np.repeat(np.arange(3), 30)
+        layer = Linear(2, 3, rng=rng)
+        opt = Adam(layer.parameters(), lr=0.1)
+        for _ in range(100):
+            loss = cross_entropy(layer(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1

@@ -1,0 +1,181 @@
+"""Sparsification: sampling distribution, weights, partition sparsifier."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, synthetic_lp_graph
+from repro.partition import partition_graph
+from repro.sparsify import (
+    SparsifiedPartitions,
+    approx_effective_resistance,
+    laplacian_quadratic_form,
+    retained_edge_fraction,
+    sampling_probabilities,
+    sparsify_partitions,
+    sparsify_with_level,
+    spielman_srivastava_sparsify,
+)
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    rng = np.random.default_rng(21)
+    return synthetic_lp_graph(num_nodes=300, target_edges=1500,
+                              feature_dim=8, num_communities=6, rng=rng)
+
+
+class TestApproximation:
+    def test_values(self, star_graph):
+        # Star: hub degree 4, leaves degree 1 -> 1/4 + 1 = 1.25 each.
+        approx = approx_effective_resistance(star_graph)
+        assert np.allclose(approx, 1.25)
+
+    def test_isolated_node_rejected(self):
+        g = Graph.from_edges(3, [[0, 1]])
+        with pytest.raises(ValueError):
+            approx_effective_resistance(g, np.array([[0, 2]]))
+
+    def test_probabilities_normalized(self, medium_graph):
+        p = sampling_probabilities(medium_graph)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p > 0)
+
+    def test_low_degree_edges_prioritized(self, medium_graph):
+        """Edges between low-degree nodes have higher sampling mass."""
+        edges = medium_graph.edge_list()
+        p = sampling_probabilities(medium_graph, edges)
+        deg = medium_graph.degrees
+        edge_degsum = deg[edges[:, 0]] + deg[edges[:, 1]]
+        low = p[edge_degsum <= np.quantile(edge_degsum, 0.2)].mean()
+        high = p[edge_degsum >= np.quantile(edge_degsum, 0.8)].mean()
+        assert low > high
+
+
+class TestSpielmanSrivastava:
+    def test_nodes_preserved(self, medium_graph, rng):
+        sparse = spielman_srivastava_sparsify(medium_graph, 100, rng=rng)
+        assert sparse.num_nodes == medium_graph.num_nodes
+
+    def test_edges_subset_of_original(self, medium_graph, rng):
+        sparse = spielman_srivastava_sparsify(medium_graph, 200, rng=rng)
+        orig = set(map(tuple, medium_graph.edge_list().tolist()))
+        for e in sparse.edge_list().tolist():
+            assert tuple(e) in orig
+
+    def test_edge_count_bounded_by_samples(self, medium_graph, rng):
+        sparse = spielman_srivastava_sparsify(medium_graph, 150, rng=rng)
+        assert 0 < sparse.num_edges <= 150
+
+    def test_weight_formula(self, rng):
+        """Weight of each kept edge = multiplicity / (n_samples * p)."""
+        g = Graph.from_edges(4, [[0, 1], [1, 2], [2, 3]])
+        probs = sampling_probabilities(g)
+        n = 50
+        rng_fixed = np.random.default_rng(5)
+        sparse = spielman_srivastava_sparsify(g, n, rng=rng_fixed,
+                                              probabilities=probs)
+        # Recompute multiplicities with the same rng sequence.
+        rng_check = np.random.default_rng(5)
+        draws = rng_check.choice(3, size=n, p=probs)
+        edges = g.edge_list()
+        weights = dict(zip(map(tuple, sparse.edge_list().tolist()),
+                           sparse.edge_weight_list()))
+        for idx, count in zip(*np.unique(draws, return_counts=True)):
+            key = tuple(edges[idx].tolist())
+            assert weights[key] == pytest.approx(count / (n * probs[idx]))
+
+    def test_expected_total_weight_matches_edges(self, medium_graph):
+        """E[sum of sparsifier weights] = |E|; check concentration."""
+        totals = []
+        for seed in range(8):
+            sparse = spielman_srivastava_sparsify(
+                medium_graph, 400, rng=np.random.default_rng(seed))
+            totals.append(sparse.edge_weight_list().sum())
+        assert np.mean(totals) == pytest.approx(medium_graph.num_edges,
+                                                rel=0.15)
+
+    def test_quadratic_form_approximation(self, medium_graph):
+        """Theorem 1: x^T L~ x concentrates around x^T L x for smooth x
+        when enough samples are drawn."""
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(medium_graph.num_nodes)
+        dense_val = laplacian_quadratic_form(medium_graph, x)
+        sparse = spielman_srivastava_sparsify(
+            medium_graph, 8 * medium_graph.num_edges, rng=rng)
+        sparse_val = laplacian_quadratic_form(sparse, x)
+        assert sparse_val == pytest.approx(dense_val, rel=0.35)
+
+    def test_invalid_samples(self, medium_graph, rng):
+        with pytest.raises(ValueError):
+            spielman_srivastava_sparsify(medium_graph, 0, rng=rng)
+
+    def test_probability_alignment_checked(self, medium_graph, rng):
+        with pytest.raises(ValueError):
+            spielman_srivastava_sparsify(medium_graph, 10, rng=rng,
+                                         probabilities=np.ones(3) / 3)
+
+    def test_empty_graph(self, rng):
+        g = Graph.empty(5)
+        sparse = spielman_srivastava_sparsify(g, 10, rng=rng)
+        assert sparse.num_edges == 0
+
+    def test_features_carried_over(self, medium_graph, rng):
+        sparse = spielman_srivastava_sparsify(medium_graph, 50, rng=rng)
+        assert sparse.features is medium_graph.features
+
+
+class TestSparsifyWithLevel:
+    def test_alpha_015_removes_most_edges(self, medium_graph, rng):
+        sparse = sparsify_with_level(medium_graph, 0.15, rng=rng)
+        frac = retained_edge_fraction(medium_graph, sparse)
+        # Paper: alpha=0.15 leaves roughly 10-15% of edges.
+        assert 0.05 < frac < 0.2
+
+    def test_alpha_monotone_in_retention(self, medium_graph):
+        fracs = []
+        for alpha in (0.05, 0.15, 0.4):
+            sparse = sparsify_with_level(medium_graph, alpha,
+                                         rng=np.random.default_rng(1))
+            fracs.append(retained_edge_fraction(medium_graph, sparse))
+        assert fracs[0] < fracs[1] < fracs[2]
+
+    def test_invalid_alpha(self, medium_graph, rng):
+        with pytest.raises(ValueError):
+            sparsify_with_level(medium_graph, 0.0, rng=rng)
+
+
+class TestPartitionSparsifier:
+    def test_structure(self, medium_graph, rng):
+        pg = partition_graph(medium_graph, 4, "metis", rng=rng, mirror=True)
+        result = sparsify_partitions(pg, alpha=0.15, rng=rng)
+        assert isinstance(result, SparsifiedPartitions)
+        assert len(result.graphs) == 4
+        assert result.elapsed_seconds >= 0.0
+
+    def test_each_partition_sparsified(self, medium_graph, rng):
+        pg = partition_graph(medium_graph, 4, "metis", rng=rng, mirror=True)
+        result = sparsify_partitions(pg, alpha=0.15, rng=rng)
+        for part, sparse in enumerate(result.graphs):
+            original = pg.local_graph(part)
+            assert sparse.num_nodes == original.num_nodes
+            assert sparse.num_edges < original.num_edges
+
+    def test_total_edges_reduced(self, medium_graph, rng):
+        pg = partition_graph(medium_graph, 4, "metis", rng=rng, mirror=True)
+        result = sparsify_partitions(pg, alpha=0.15, rng=rng)
+        total_orig = sum(p.num_edges for p in pg.parts)
+        assert result.total_edges() < 0.3 * total_orig
+
+    def test_empty_partition_tolerated(self, rng):
+        g = Graph.from_edges(6, [[0, 1], [1, 2], [0, 2]],
+                             features=np.zeros((6, 2), dtype=np.float32))
+        assignment = np.array([0, 0, 0, 1, 1, 1])
+        from repro.partition import PartitionedGraph
+        pg = PartitionedGraph.build(g, assignment, 2, mirror=True)
+        result = sparsify_partitions(pg, alpha=0.5, rng=rng)
+        assert result.graphs[1].num_edges == 0
+
+    def test_invalid_alpha(self, medium_graph, rng):
+        pg = partition_graph(medium_graph, 2, "metis", rng=rng)
+        with pytest.raises(ValueError):
+            sparsify_partitions(pg, alpha=-1.0, rng=rng)

@@ -1,0 +1,66 @@
+"""LDG streaming partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.graph import synthetic_lp_graph
+from repro.partition import (
+    edge_cut,
+    ldg_partition,
+    metis_partition,
+    partition_balance,
+    partition_graph,
+    random_tma_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(3)
+    return synthetic_lp_graph(500, 2200, feature_dim=4,
+                              num_communities=8, rng=rng)
+
+
+class TestLDG:
+    def test_covers_all_nodes(self, graph, rng):
+        a = ldg_partition(graph, 4, rng=rng)
+        assert a.shape == (graph.num_nodes,)
+        assert a.min() >= 0 and a.max() < 4
+
+    def test_respects_capacity(self, graph, rng):
+        a = ldg_partition(graph, 4, rng=rng, capacity_factor=1.1)
+        assert partition_balance(a, 4) <= 1.1 + 1e-9
+
+    def test_cut_between_metis_and_random(self, graph):
+        rng = np.random.default_rng(7)
+        cut_metis = edge_cut(graph, metis_partition(graph, 4, rng=rng))
+        cut_ldg = edge_cut(graph, ldg_partition(graph, 4, rng=rng))
+        cut_random = edge_cut(graph,
+                              random_tma_partition(graph, 4, rng=rng))
+        assert cut_metis < cut_ldg < cut_random
+
+    def test_k1_trivial(self, graph, rng):
+        assert np.all(ldg_partition(graph, 1, rng=rng) == 0)
+
+    def test_invalid_k(self, graph, rng):
+        with pytest.raises(ValueError):
+            ldg_partition(graph, 0, rng=rng)
+
+    @pytest.mark.parametrize("order", ["random", "bfs", "natural"])
+    def test_orders(self, graph, rng, order):
+        a = ldg_partition(graph, 4, rng=rng, order=order)
+        assert np.unique(a).size == 4
+
+    def test_unknown_order(self, graph, rng):
+        with pytest.raises(ValueError):
+            ldg_partition(graph, 4, rng=rng, order="dfs")
+
+    def test_registered_strategy(self, graph, rng):
+        pg = partition_graph(graph, 4, strategy="ldg", rng=rng)
+        assert pg.num_parts == 4
+        assert len(pg.parts) == 4
+
+    def test_deterministic_given_rng(self, graph):
+        a = ldg_partition(graph, 4, rng=np.random.default_rng(5))
+        b = ldg_partition(graph, 4, rng=np.random.default_rng(5))
+        assert np.array_equal(a, b)

@@ -1,0 +1,211 @@
+"""Synchronization primitives and the distributed trainer loop."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    CommMeter,
+    TrainConfig,
+    average_gradients,
+    average_models,
+    broadcast_model,
+    train_centralized,
+)
+from repro.core import build_trainer, FRAMEWORKS
+from repro.nn import build_model
+
+
+def make_models(n, seed_offset=0):
+    return [build_model("sage", 8, 4, num_layers=2, seed=10 + seed_offset + i)
+            for i in range(n)]
+
+
+class TestSync:
+    def test_broadcast(self):
+        models = make_models(3)
+        broadcast_model(models[0], models[1:])
+        ref = models[0].state_dict()
+        for m in models[1:]:
+            for name, arr in m.state_dict().items():
+                assert np.allclose(arr, ref[name])
+
+    def test_average_models_math(self):
+        models = make_models(2)
+        a = models[0].state_dict()
+        b = models[1].state_dict()
+        average_models(models)
+        for name, arr in models[0].state_dict().items():
+            assert np.allclose(arr, (a[name] + b[name]) / 2)
+        for name, arr in models[1].state_dict().items():
+            assert np.allclose(arr, (a[name] + b[name]) / 2)
+
+    def test_average_gradients_math(self):
+        models = make_models(2)
+        for i, m in enumerate(models):
+            for p in m.parameters():
+                p.grad = np.full_like(p.data, float(i + 1))
+        average_gradients(models)
+        for m in models:
+            for p in m.parameters():
+                assert np.allclose(p.grad, 1.5)
+
+    def test_average_gradients_participation_mask(self):
+        models = make_models(3)
+        for i, m in enumerate(models[:2]):
+            for p in m.parameters():
+                p.grad = np.full_like(p.data, float(i))
+        average_gradients(models, participating=[True, True, False])
+        # Average over the two participants = 0.5; non-participant
+        # receives the same averaged gradient.
+        for m in models:
+            for p in m.parameters():
+                assert np.allclose(p.grad, 0.5)
+
+    def test_sync_charges_meters_allreduce(self):
+        models = make_models(2)
+        meters = [CommMeter(), CommMeter()]
+        average_models(models, meters)
+        # ring all-reduce on p=2: 2 * (p-1)/p = 1x the payload
+        expected = models[0].parameter_nbytes()
+        for meter in meters:
+            assert meter.current.sync_bytes == expected
+            assert meter.current.graph_data_bytes == 0
+
+    def test_sync_charges_meters_parameter_server(self):
+        models = make_models(2)
+        meters = [CommMeter(), CommMeter()]
+        average_models(models, meters, topology="parameter_server")
+        expected = 2 * models[0].parameter_nbytes()
+        for meter in meters:
+            assert meter.current.sync_bytes == expected
+
+    def test_sync_bytes_per_worker_model(self):
+        from repro.distributed import sync_bytes_per_worker
+        assert sync_bytes_per_worker(1000, 1) == 0
+        assert sync_bytes_per_worker(1000, 4) == 1500  # 2*1000*3/4
+        assert sync_bytes_per_worker(1000, 4,
+                                     "parameter_server") == 2000
+        with pytest.raises(ValueError):
+            sync_bytes_per_worker(1000, 4, "mesh")
+
+    def test_average_gradients_none_grads_tolerated(self):
+        models = make_models(2)
+        average_gradients(models)  # no grads set; should be a no-op
+        for m in models:
+            assert all(p.grad is None for p in m.parameters())
+
+
+class TestTrainConfig:
+    def test_invalid_sync(self):
+        with pytest.raises(ValueError):
+            TrainConfig(sync="async")
+
+    def test_fanout_layer_mismatch(self):
+        with pytest.raises(ValueError):
+            TrainConfig(num_layers=2, fanouts=(5, 5, 5))
+
+
+@pytest.fixture
+def smoke_config():
+    return TrainConfig(gnn_type="sage", hidden_dim=16, num_layers=2,
+                       fanouts=(5, 3), batch_size=64, epochs=2, hits_k=20,
+                       eval_every=2, seed=3)
+
+
+class TestDistributedTrainer:
+    def test_workers_start_identical(self, small_split, smoke_config):
+        trainer = build_trainer(FRAMEWORKS["psgd_pa"], small_split, 3,
+                                smoke_config,
+                                rng=np.random.default_rng(0))
+        states = [w.model.state_dict() for w in trainer.workers]
+        for sd in states[1:]:
+            for name, arr in sd.items():
+                assert np.allclose(arr, states[0][name])
+
+    def test_grad_sync_keeps_replicas_identical(self, small_split,
+                                                smoke_config):
+        trainer = build_trainer(FRAMEWORKS["psgd_pa_plus"], small_split, 2,
+                                smoke_config,
+                                rng=np.random.default_rng(0))
+        trainer.train()
+        a, b = [w.model.state_dict() for w in trainer.workers]
+        for name in a:
+            assert np.allclose(a[name], b[name], atol=1e-8)
+
+    def test_model_sync_converges_replicas(self, small_split):
+        cfg = TrainConfig(gnn_type="sage", hidden_dim=16, num_layers=2,
+                          fanouts=(5, 3), batch_size=64, epochs=1,
+                          hits_k=20, sync="model", seed=3)
+        trainer = build_trainer(FRAMEWORKS["psgd_pa"], small_split, 2, cfg,
+                                rng=np.random.default_rng(0))
+        trainer.train()
+        a, b = [w.model.state_dict() for w in trainer.workers]
+        for name in a:  # averaged at epoch end => identical
+            assert np.allclose(a[name], b[name])
+
+    def test_result_structure(self, small_split, smoke_config):
+        trainer = build_trainer(FRAMEWORKS["splpg"], small_split, 2,
+                                smoke_config,
+                                rng=np.random.default_rng(0))
+        result = trainer.train()
+        assert result.framework == "splpg"
+        assert len(result.history) == smoke_config.epochs
+        assert 0.0 <= result.test.hits <= 1.0
+        assert 0.0 <= result.test.auc <= 1.0
+        assert result.num_workers == 2
+        assert result.best_epoch >= 0
+
+    def test_vanilla_framework_zero_graph_comm(self, small_split,
+                                               smoke_config):
+        trainer = build_trainer(FRAMEWORKS["psgd_pa"], small_split, 2,
+                                smoke_config,
+                                rng=np.random.default_rng(0))
+        result = trainer.train()
+        assert result.comm_total.graph_data_bytes == 0
+
+    def test_sharing_framework_positive_comm(self, small_split,
+                                             smoke_config):
+        trainer = build_trainer(FRAMEWORKS["splpg"], small_split, 2,
+                                smoke_config,
+                                rng=np.random.default_rng(0))
+        result = trainer.train()
+        assert result.comm_total.graph_data_bytes > 0
+
+    def test_loss_decreases(self, small_split):
+        cfg = TrainConfig(gnn_type="sage", hidden_dim=16, num_layers=2,
+                          fanouts=(5, 3), batch_size=64, epochs=5,
+                          hits_k=20, eval_every=5, seed=3)
+        trainer = build_trainer(FRAMEWORKS["splpg_plus"], small_split, 2,
+                                cfg, rng=np.random.default_rng(0))
+        result = trainer.train()
+        losses = [s.mean_loss for s in result.history]
+        assert losses[-1] < losses[0]
+
+
+class TestCentralized:
+    def test_trains_and_improves(self, small_split):
+        cfg = TrainConfig(gnn_type="sage", hidden_dim=16, num_layers=2,
+                          fanouts=(5, 3), batch_size=64, epochs=5,
+                          hits_k=20, eval_every=5, seed=3)
+        result = train_centralized(small_split, cfg)
+        losses = [s.mean_loss for s in result.history]
+        assert losses[-1] < losses[0]
+        assert result.comm_total.graph_data_bytes == 0
+        assert result.num_workers == 1
+
+    def test_requires_features(self, small_split):
+        cfg = TrainConfig(hidden_dim=8, num_layers=2, fanouts=(3, 3),
+                          epochs=1)
+        bare = small_split.train_graph.with_features(None)
+        with pytest.raises(ValueError):
+            train_centralized(small_split, cfg, graph=bare)
+
+    def test_graph_override(self, small_split, rng):
+        from repro.sparsify import sparsify_with_level
+        cfg = TrainConfig(gnn_type="sage", hidden_dim=8, num_layers=2,
+                          fanouts=(3, 3), batch_size=64, epochs=1,
+                          hits_k=10, seed=0)
+        sparse = sparsify_with_level(small_split.train_graph, 0.3, rng=rng)
+        result = train_centralized(small_split, cfg, graph=sparse,
+                                   framework="sparsified")
+        assert result.framework == "sparsified"

@@ -1,0 +1,272 @@
+"""Autograd engine tests: forward values and gradient checks."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (
+    Tensor,
+    concat,
+    dropout,
+    elu,
+    exp,
+    gather,
+    leaky_relu,
+    log,
+    relu,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    sigmoid,
+    sparse_matmul,
+    tanh,
+)
+
+from conftest import numeric_gradient
+
+
+def check_grad(build, shapes, seed=0, tol=1e-5):
+    """Compare autograd gradients against central differences.
+
+    ``build(tensors) -> Tensor`` must return a scalar-reducible output;
+    we reduce with a fixed random projection to get a scalar.
+    """
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(s) for s in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = build(tensors)
+    proj = rng.standard_normal(out.data.shape)
+
+    loss = (out * Tensor(proj)).sum()
+    loss.backward()
+
+    for arr, t in zip(arrays, tensors):
+        def scalar():
+            fresh = [Tensor(a) for a in arrays]
+            return float((build(fresh).data * proj).sum())
+        num = numeric_gradient(scalar, arr)
+        assert t.grad is not None
+        np.testing.assert_allclose(t.grad, num, rtol=tol, atol=tol)
+
+
+class TestForward:
+    def test_add_broadcast(self):
+        a = Tensor(np.ones((2, 3)))
+        b = Tensor(np.arange(3.0))
+        assert np.allclose((a + b).data, 1.0 + np.arange(3.0))
+
+    def test_scalar_ops(self):
+        a = Tensor(np.array([2.0]))
+        assert (a * 3).data[0] == 6.0
+        assert (3 * a).data[0] == 6.0
+        assert (a - 1).data[0] == 1.0
+        assert (1 - a).data[0] == -1.0
+        assert (a / 2).data[0] == 1.0
+        assert (-a).data[0] == -2.0
+        assert (a ** 2).data[0] == 4.0
+
+    def test_matmul(self):
+        a = Tensor(np.eye(2))
+        b = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert np.allclose((a @ b).data, b.data)
+
+    def test_reshape_transpose(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.reshape(3, 2).shape == (3, 2)
+        assert a.T.shape == (3, 2)
+
+    def test_sum_mean(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.sum().item() == 15.0
+        assert a.mean().item() == 2.5
+        assert np.allclose(a.sum(axis=0).data, [3.0, 5.0, 7.0])
+        assert np.allclose(a.mean(axis=1).data, [1.0, 4.0])
+
+    def test_activations_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(relu(x).data, [0.0, 0.0, 2.0])
+        assert np.allclose(leaky_relu(x, 0.1).data, [-0.1, 0.0, 2.0])
+        assert np.allclose(sigmoid(Tensor(np.array([0.0]))).data, [0.5])
+        assert np.allclose(tanh(Tensor(np.array([0.0]))).data, [0.0])
+        assert np.allclose(elu(x).data[1:], [0.0, 2.0])
+        assert elu(x).data[0] == pytest.approx(np.exp(-1.0) - 1.0)
+
+    def test_exp_log(self):
+        x = Tensor(np.array([1.0, 2.0]))
+        assert np.allclose(log(exp(x)).data, x.data)
+
+    def test_gather(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = gather(x, np.array([2, 0, 2]))
+        assert np.allclose(out.data, x.data[[2, 0, 2]])
+
+    def test_concat(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((2, 3)))
+        assert concat([a, b], axis=1).shape == (2, 5)
+
+    def test_segment_sum(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = segment_sum(x, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.data, [[3.0], [3.0]])
+
+    def test_segment_sum_empty_segment(self):
+        x = Tensor(np.array([[1.0]]))
+        out = segment_sum(x, np.array([1]), 3)
+        assert np.allclose(out.data, [[0.0], [1.0], [0.0]])
+
+    def test_segment_mean(self):
+        x = Tensor(np.array([[2.0], [4.0], [8.0]]))
+        out = segment_mean(x, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.data, [[3.0], [8.0]])
+
+    def test_segment_softmax_normalizes(self):
+        scores = Tensor(np.array([[1.0], [2.0], [5.0]]))
+        seg = np.array([0, 0, 1])
+        out = segment_softmax(scores, seg, 2)
+        sums = np.zeros(2)
+        np.add.at(sums, seg, out.data.ravel())
+        assert np.allclose(sums, 1.0)
+
+    def test_segment_softmax_stability(self):
+        scores = Tensor(np.array([[1000.0], [1001.0]]))
+        out = segment_softmax(scores, np.array([0, 0]), 1)
+        assert np.all(np.isfinite(out.data))
+        assert np.allclose(out.data.sum(), 1.0)
+
+    def test_sparse_matmul(self):
+        mat = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        x = Tensor(np.array([[1.0], [1.0]]))
+        assert np.allclose(sparse_matmul(mat, x).data, [[3.0], [3.0]])
+
+    def test_dropout_eval_identity(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert dropout(x, 0.5, training=False) is x
+        assert dropout(x, 0.0, training=True) is x
+
+    def test_dropout_scaling(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = dropout(x, 0.5, training=True, rng=rng)
+        # Inverted dropout keeps the expectation.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.1)
+        assert set(np.unique(out.data)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(3)), 1.5, training=True)
+
+
+class TestBackward:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_grad_accumulates(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t.sum() + t.sum()).backward()
+        assert np.allclose(t.grad, 2.0)
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        t.sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_detach_breaks_graph(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_diamond_graph_gradient(self):
+        # y = x*x + x  reused node; dy/dx = 2x + 1
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert np.allclose(x.grad, [7.0])
+
+
+class TestGradcheck:
+    def test_add(self):
+        check_grad(lambda t: t[0] + t[1], [(3, 2), (3, 2)])
+
+    def test_add_broadcast(self):
+        check_grad(lambda t: t[0] + t[1], [(3, 2), (2,)])
+
+    def test_mul(self):
+        check_grad(lambda t: t[0] * t[1], [(4,), (4,)])
+
+    def test_div(self):
+        def build(t):
+            return t[0] / (t[1] * t[1] + 1.0)
+        check_grad(build, [(3,), (3,)])
+
+    def test_matmul(self):
+        check_grad(lambda t: t[0] @ t[1], [(3, 4), (4, 2)])
+
+    def test_pow(self):
+        check_grad(lambda t: (t[0] * t[0] + 1.0) ** 1.5, [(4,)])
+
+    def test_sum_axis(self):
+        check_grad(lambda t: t[0].sum(axis=0), [(3, 4)])
+
+    def test_mean(self):
+        check_grad(lambda t: t[0].mean(axis=1), [(3, 4)])
+
+    def test_reshape(self):
+        check_grad(lambda t: t[0].reshape(2, 6), [(3, 4)])
+
+    def test_transpose(self):
+        check_grad(lambda t: t[0].T @ t[1], [(3, 2), (3, 2)])
+
+    def test_sigmoid(self):
+        check_grad(lambda t: sigmoid(t[0]), [(5,)])
+
+    def test_tanh(self):
+        check_grad(lambda t: tanh(t[0]), [(5,)])
+
+    def test_relu(self):
+        # Shift away from the kink for finite differences.
+        check_grad(lambda t: relu(t[0] + 5.0), [(4,)])
+
+    def test_leaky_relu(self):
+        check_grad(lambda t: leaky_relu(t[0] + 5.0), [(4,)])
+
+    def test_elu(self):
+        check_grad(lambda t: elu(t[0] - 5.0), [(4,)])
+
+    def test_exp_log(self):
+        check_grad(lambda t: log(exp(t[0]) + 1.0), [(4,)])
+
+    def test_gather(self):
+        idx = np.array([0, 2, 2, 1])
+        check_grad(lambda t: gather(t[0], idx), [(3, 2)])
+
+    def test_concat(self):
+        check_grad(lambda t: concat([t[0], t[1]], axis=1), [(2, 2), (2, 3)])
+
+    def test_segment_sum(self):
+        seg = np.array([0, 1, 1, 2])
+        check_grad(lambda t: segment_sum(t[0], seg, 3), [(4, 2)])
+
+    def test_segment_mean(self):
+        seg = np.array([0, 0, 1, 1])
+        check_grad(lambda t: segment_mean(t[0], seg, 2), [(4, 2)])
+
+    def test_segment_softmax(self):
+        seg = np.array([0, 0, 1, 1, 1])
+        check_grad(lambda t: segment_softmax(t[0], seg, 2), [(5, 1)])
+
+    def test_sparse_matmul(self):
+        mat = sp.csr_matrix(np.array([[1.0, 0.0, 2.0],
+                                      [0.0, 3.0, 0.0]]))
+        check_grad(lambda t: sparse_matmul(mat, t[0]), [(3, 2)])
+
+    def test_composite_expression(self):
+        def build(t):
+            return sigmoid(t[0] @ t[1]) * t[2]
+        check_grad(build, [(2, 3), (3, 2), (2, 2)])

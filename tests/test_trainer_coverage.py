@@ -1,0 +1,94 @@
+"""Trainer positive-edge coverage semantics and degenerate setups."""
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig
+from repro.core import FRAMEWORKS, build_trainer
+from repro.partition import partition_graph
+
+
+def config(**overrides):
+    base = dict(gnn_type="sage", hidden_dim=16, num_layers=2,
+                fanouts=(5, 3), batch_size=64, epochs=1, hits_k=20,
+                eval_every=2, seed=3)
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def edge_key_set(edges, n):
+    lo = np.minimum(edges[:, 0], edges[:, 1])
+    hi = np.maximum(edges[:, 0], edges[:, 1])
+    return set((lo * n + hi).tolist())
+
+
+class TestPositiveCoverage:
+    def test_owned_cover_is_disjoint_partition_of_edges(self, small_split):
+        """With complete data sharing, workers jointly iterate every
+        training edge exactly once per epoch."""
+        trainer = build_trainer(FRAMEWORKS["psgd_pa_plus"], small_split, 3,
+                                config(), rng=np.random.default_rng(0))
+        n = small_split.train_graph.num_nodes
+        sets = [edge_key_set(w.loader.edges, n) for w in trainer.workers]
+        union = set().union(*sets)
+        total = sum(len(s) for s in sets)
+        assert total == len(union)  # disjoint
+        assert union == edge_key_set(small_split.train_graph.edge_list(), n)
+
+    def test_induced_workers_lose_cut_edges(self, small_split):
+        trainer = build_trainer(FRAMEWORKS["psgd_pa"], small_split, 3,
+                                config(), rng=np.random.default_rng(0))
+        n = small_split.train_graph.num_nodes
+        union = set().union(*[edge_key_set(w.loader.edges, n)
+                              for w in trainer.workers])
+        full = edge_key_set(small_split.train_graph.edge_list(), n)
+        assert union < full  # strictly fewer: cross-partition edges lost
+
+    def test_mirrored_workers_duplicate_cut_edges(self, small_split):
+        trainer = build_trainer(FRAMEWORKS["splpg"], small_split, 3,
+                                config(), rng=np.random.default_rng(0))
+        n = small_split.train_graph.num_nodes
+        sets = [edge_key_set(w.loader.edges, n) for w in trainer.workers]
+        union = set().union(*sets)
+        total = sum(len(s) for s in sets)
+        full = edge_key_set(small_split.train_graph.edge_list(), n)
+        assert union == full          # nothing lost
+        assert total > len(union)     # cross edges appear on both sides
+
+    def test_random_tma_loses_most_edges(self, small_split):
+        trainer = build_trainer(FRAMEWORKS["random_tma"], small_split, 4,
+                                config(), rng=np.random.default_rng(0))
+        n = small_split.train_graph.num_nodes
+        union = set().union(*[edge_key_set(w.loader.edges, n)
+                              for w in trainer.workers])
+        full = edge_key_set(small_split.train_graph.edge_list(), n)
+        # i.i.d. assignment at p=4 keeps ~1/4 of edges intra-partition
+        assert len(union) < 0.6 * len(full)
+
+
+class TestDegenerateSetups:
+    def test_single_partition_splpg(self, small_split):
+        trainer = build_trainer(FRAMEWORKS["splpg"], small_split, 1,
+                                config(), rng=np.random.default_rng(0))
+        result = trainer.train()
+        # One worker owning everything pays nothing.
+        assert result.comm_total.graph_data_bytes == 0
+        assert np.isfinite(result.test.auc)
+
+    def test_invalid_positive_mode(self, small_split):
+        from repro.distributed import DistributedTrainer
+        pg = partition_graph(small_split.train_graph, 2, "metis",
+                             rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            DistributedTrainer("x", small_split, pg, config(),
+                               positive_mode="ownership")
+
+    def test_reused_partitioning_shared_across_frameworks(self, small_split):
+        pg = partition_graph(small_split.train_graph, 2, "metis",
+                             rng=np.random.default_rng(0), mirror=True)
+        t1 = build_trainer(FRAMEWORKS["splpg"], small_split, 2, config(),
+                           partitioned=pg, rng=np.random.default_rng(1))
+        t2 = build_trainer(FRAMEWORKS["splpg_plus"], small_split, 2,
+                           config(), partitioned=pg,
+                           rng=np.random.default_rng(2))
+        assert t1.partitioned is pg and t2.partitioned is pg
