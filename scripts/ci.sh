@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: test suite + invariant lint, fail on any finding.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== repro.lint =="
+python -m repro.lint src/ --format json

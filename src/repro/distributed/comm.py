@@ -30,6 +30,25 @@ FEATURE_ITEMSIZE = 4
 GB = float(1024 ** 3)
 
 
+def feature_nbytes(num_nodes: int, feature_dim: int) -> int:
+    """Wire bytes for ``num_nodes`` feature vectors (float32)."""
+    return int(num_nodes) * int(feature_dim) * FEATURE_ITEMSIZE
+
+
+def structure_nbytes(num_edges: int, num_queried_nodes: int,
+                     weighted: bool = False) -> int:
+    """Wire bytes for a structure answer: edges + queried node ids.
+
+    These formulas are the single source of truth — the
+    :class:`CommMeter` charges with them and the
+    :class:`~repro.lint.runtime.AuditedStore` sanitizer independently
+    recomputes them to cross-check every store answer.
+    """
+    per_edge = BYTES_PER_EDGE + (BYTES_PER_EDGE_WEIGHT if weighted else 0)
+    return (int(num_edges) * per_edge
+            + int(num_queried_nodes) * BYTES_PER_NODE_ID)
+
+
 @dataclass
 class CommRecord:
     """Byte totals for one epoch."""
@@ -64,15 +83,12 @@ class CommMeter:
     # -- charging -------------------------------------------------------
 
     def charge_features(self, num_nodes: int, feature_dim: int) -> None:
-        self.current.feature_bytes += (
-            int(num_nodes) * int(feature_dim) * FEATURE_ITEMSIZE)
+        self.current.feature_bytes += feature_nbytes(num_nodes, feature_dim)
 
     def charge_structure(self, num_edges: int, num_queried_nodes: int,
                          weighted: bool = False) -> None:
-        per_edge = BYTES_PER_EDGE + (BYTES_PER_EDGE_WEIGHT if weighted else 0)
-        self.current.structure_bytes += (
-            int(num_edges) * per_edge
-            + int(num_queried_nodes) * BYTES_PER_NODE_ID)
+        self.current.structure_bytes += structure_nbytes(
+            num_edges, num_queried_nodes, weighted)
 
     def charge_sync(self, nbytes: int) -> None:
         self.current.sync_bytes += int(nbytes)

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..nn.models import LinkPredictionModel
 from ..partition.partitioned import PartitionedGraph
 from ..sampling.neighbor import NeighborSampler
@@ -67,7 +68,7 @@ class DistributedScorer:
         self.partitioned = partitioned
         self.fanouts = list(fanouts)
         self.batch_size = batch_size
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         self.views = [
             WorkerGraphView(partitioned, part, remote=remote,

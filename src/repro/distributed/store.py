@@ -51,6 +51,33 @@ class RemoteGraphStore:
                                    weighted=self.weighted)
         return nbrs, weights, offsets
 
+    def complete_neighbors_batch(
+        self, nodes: np.ndarray, local_counts: np.ndarray,
+        meter: Optional[CommMeter],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full-fidelity neighbor lists with delta charging.
+
+        Serves the complete adjacency of ``nodes`` from the master's
+        full graph.  ``local_counts[i]`` is how many of node
+        ``nodes[i]``'s edges the querying worker already stores
+        locally; only the difference is charged (paper Section III-B —
+        a node whose list is already complete locally costs nothing).
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        local_counts = np.asarray(local_counts, dtype=np.int64)
+        full_counts = (self.graph.indptr[nodes + 1]
+                       - self.graph.indptr[nodes])
+        missing = np.maximum(full_counts - local_counts, 0)
+        if meter is not None:
+            num_incomplete = int(np.count_nonzero(missing))
+            if num_incomplete:
+                meter.charge_structure(
+                    num_edges=int(missing.sum()),
+                    num_queried_nodes=num_incomplete,
+                    weighted=False)
+        # Answer from the full graph without re-charging.
+        return self._source.neighbors_batch(nodes)
+
     def fetch_features(self, nodes: np.ndarray,
                        meter: Optional[CommMeter]) -> np.ndarray:
         feats = self.graph.features[nodes]

@@ -46,7 +46,9 @@ class WorkerGraphView:
         self.part = part
         self.remote = remote
         self.meter = meter
-        self._local = GraphNeighborSource(partitioned.local_graph(part))
+        self._local_graph = partitioned.local_graph(part)
+        # Worker-local partition structure — free to read by definition.
+        self._local = GraphNeighborSource(self._local_graph)  # lint: disable=R002
         self._owned_mask = partitioned.assignment == part
         # Optional optimization beyond the paper's accounting: remember
         # which remote features were already fetched and never pay for
@@ -107,26 +109,15 @@ class WorkerGraphView:
                             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Full-fidelity answers with delta charging.
 
-        Returns the complete neighbor lists from the master's full
-        graph; the meter is charged for the difference between the full
-        and locally stored degree of each queried node (a node whose
-        list is already complete locally costs nothing).
+        The master's store serves the complete neighbor lists and
+        charges the meter for the difference between the full and
+        locally stored degree of each queried node (a node whose list
+        is already complete locally costs nothing) — see
+        :meth:`~repro.distributed.store.RemoteGraphStore.complete_neighbors_batch`.
         """
-        full = self.partitioned.full
-        local_graph = self.partitioned.local_graph(self.part)
-        full_counts = (full.indptr[nodes + 1] - full.indptr[nodes])
-        local_counts = (local_graph.indptr[nodes + 1]
-                        - local_graph.indptr[nodes])
-        missing = np.maximum(full_counts - local_counts, 0)
-        if self.meter is not None:
-            num_incomplete = int(np.count_nonzero(missing))
-            if num_incomplete:
-                self.meter.charge_structure(
-                    num_edges=int(missing.sum()),
-                    num_queried_nodes=num_incomplete,
-                    weighted=False)
-        # Answer from the full graph without re-charging.
-        return GraphNeighborSource(full).neighbors_batch(nodes)
+        local_counts = self._local_graph.degrees[nodes]
+        return self.remote.complete_neighbors_batch(
+            nodes, local_counts, self.meter)
 
     # -- features ------------------------------------------------------------
 
@@ -137,26 +128,29 @@ class WorkerGraphView:
         the per-batch deduplication of the paper's accounting holds.
         """
         nodes = np.asarray(nodes, dtype=np.int64)
-        feats = self.partitioned.full.features
-        if feats is None:
-            raise ValueError("graph has no features")
         local = self.partitioned.has_feature_locally(self.part, nodes)
-        remote_nodes = nodes[~local]
-        if self.cache_remote_features and remote_nodes.size:
-            remote_nodes = np.array(
-                [n for n in remote_nodes.tolist()
-                 if n not in self._feature_cache], dtype=np.int64)
-            self._feature_cache.update(remote_nodes.tolist())
-        num_remote = int(remote_nodes.size)
-        if num_remote and self.remote is not None and self.meter is not None:
-            self.meter.charge_features(num_remote, feats.shape[1])
-        # Without a remote store a worker cannot see foreign features at
-        # all; those rows are zero-filled (the sampler only reaches such
-        # nodes in pure-local regimes via stale halo edges, if ever).
-        result = feats[nodes].astype(np.float32)
-        if self.remote is None and not local.all():
-            result = result.copy()
-            result[~local] = 0.0
+        remote_pos = np.flatnonzero(~local)
+        if self.cache_remote_features and remote_pos.size:
+            keep = np.fromiter(
+                (int(n) not in self._feature_cache
+                 for n in nodes[remote_pos]),
+                dtype=bool, count=remote_pos.size)
+            remote_pos = remote_pos[keep]
+            self._feature_cache.update(int(n) for n in nodes[remote_pos])
+        # Local (and cache-hit) rows are served from worker storage.
+        result = self.partitioned.local_feature_rows(nodes)
+        if self.remote is None:
+            # Without a remote store a worker cannot see foreign
+            # features at all; those rows are zero-filled (the sampler
+            # only reaches such nodes in pure-local regimes via stale
+            # halo edges, if ever).
+            if not local.all():
+                result[~local] = 0.0
+            return result
+        if remote_pos.size:
+            fetched = self.remote.fetch_features(nodes[remote_pos],
+                                                 self.meter)
+            result[remote_pos] = fetched.astype(np.float32)
         return result
 
     def clear_feature_cache(self) -> None:

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 from .walks import random_walks, walk_context_pairs
 
@@ -62,7 +63,7 @@ def train_skipgram(
     Negative contexts are sampled ∝ degree^0.75 when ``degrees`` is
     given (the word2vec unigram trick), else uniformly.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
     if pairs.shape[0] == 0:
         raise ValueError("no training pairs")
@@ -110,7 +111,7 @@ def deepwalk_embedding(
     rng: Optional[np.random.Generator] = None,
 ) -> SkipGramEmbedding:
     """DeepWalk end to end: uniform walks → SGNS embeddings."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     walks = random_walks(graph, num_walks=num_walks,
                          walk_length=walk_length, rng=rng)
     pairs = walk_context_pairs(walks, window=window)

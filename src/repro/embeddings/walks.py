@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 
 
@@ -26,7 +27,7 @@ def random_walks(
     isolated nodes (or that reach a dead end, impossible in undirected
     graphs with self-degree > 0) stay in place.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     n = graph.num_nodes
     starts = np.tile(np.arange(n, dtype=np.int64), num_walks)
     rng.shuffle(starts)
@@ -65,7 +66,7 @@ def node2vec_walks(
     """
     if p <= 0 or q <= 0:
         raise ValueError("p and q must be positive")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     n = graph.num_nodes
     neighbor_sets = [set(graph.neighbors(v).tolist()) for v in range(n)]
     walks = np.empty((n * num_walks, walk_length), dtype=np.int64)

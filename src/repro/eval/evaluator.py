@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 from ..graph.splits import EdgeSplit
 from ..nn.models import LinkPredictionModel
@@ -41,7 +42,7 @@ def score_pairs(
     batch_size: int = 2048,
 ) -> np.ndarray:
     """Score node pairs using full-graph neighborhood sampling."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
     sampler = NeighborSampler(fanouts, rng=rng)
     model.eval()
@@ -78,7 +79,7 @@ class Evaluator:
         self.split = split
         self.fanouts = list(fanouts)
         self.k = k
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.batch_size = batch_size
 
     def _evaluate(self, model: LinkPredictionModel, pos: np.ndarray,

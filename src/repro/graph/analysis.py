@@ -16,6 +16,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
+from ..rng import ensure_rng
 from .graph import Graph
 
 
@@ -144,7 +145,7 @@ def k_hop_sizes(graph: Graph, nodes: np.ndarray, k: int) -> np.ndarray:
 def mean_k_hop_size(graph: Graph, k: int, sample: int = 200,
                     rng: Optional[np.random.Generator] = None) -> float:
     """Monte-Carlo estimate of the average k-hop neighborhood size."""
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     n = graph.num_nodes
     nodes = (np.arange(n) if n <= sample
              else rng.choice(n, size=sample, replace=False))

@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .graph import Graph
 
 
@@ -38,7 +39,7 @@ def powerlaw_expected_degrees(
     The sequence is scaled so that expected total degree is
     ``2 * target_edges``.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if num_nodes <= 0:
         raise ValueError("num_nodes must be positive")
     if exponent <= 1.0:
@@ -63,7 +64,7 @@ def chung_lu_graph(
     proportional to their expected degrees and deduplicating, which is
     the standard O(m) approximation of the Chung-Lu model.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     weights = powerlaw_expected_degrees(num_nodes, target_edges, exponent, rng)
     probs = weights / weights.sum()
     # Oversample to compensate for self-loops and duplicates.
@@ -88,7 +89,7 @@ def community_graph(
     community; the rest crosses communities.  Returns the graph and the
     per-node community assignment.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if not 0.0 <= intra_fraction <= 1.0:
         raise ValueError("intra_fraction must be in [0, 1]")
     num_communities = max(1, min(num_communities, num_nodes))
@@ -150,7 +151,7 @@ def latent_features(
     the property GNN link predictors exploit, so accuracy comparisons
     between training frameworks behave like they do on real data.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     communities = np.asarray(communities, dtype=np.int64)
     num_comm = int(communities.max()) + 1 if communities.size else 1
     centroids = rng.standard_normal((num_comm, feature_dim))
@@ -173,7 +174,7 @@ def synthetic_lp_graph(
 
     This is the workhorse behind the named datasets and most tests.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     graph, comm = community_graph(num_nodes, target_edges, num_communities,
                                   intra_fraction, exponent, rng)
     feats = latent_features(num_nodes, feature_dim, comm, rng)

@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .graph import Graph
 
 
@@ -58,7 +59,7 @@ def sample_non_edges(
     edge of ``graph`` nor in ``exclude``.  Uses rejection sampling,
     which is efficient for the sparse graphs used in GNN training.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     n = graph.num_nodes
     if n < 2:
         raise ValueError("graph must have at least 2 nodes")
@@ -118,7 +119,7 @@ def split_edges(
         raise ValueError("invalid split fractions")
     if train_frac + val_frac >= 1.0:
         raise ValueError("train_frac + val_frac must be < 1")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
 
     edges = graph.edge_list()
     m = edges.shape[0]

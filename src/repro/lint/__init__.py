@@ -1,0 +1,45 @@
+"""repro.lint — machine-checked invariants for the reproduction.
+
+Two halves:
+
+* a **static rule engine** (:mod:`repro.lint.engine`) that walks Python
+  sources with AST visitors and reports violations of the invariants
+  the paper's numbers rest on — determinism (R001), data locality
+  (R002), autograd safety (R003) — plus generic hygiene rules
+  (R101-R103).  Run it as ``python -m repro.lint src/``.
+* **runtime sanitizers** (:mod:`repro.lint.runtime`): a debug mode that
+  freezes arrays as they enter the autodiff graph, and a
+  :class:`~repro.lint.runtime.AuditedStore` wrapper that cross-checks
+  every remote store answer against the bytes charged to the
+  :class:`~repro.distributed.comm.CommMeter`.
+
+Findings can be silenced per line with a trailing comment::
+
+    graph.indptr[nodes]  # lint: disable=R002 -- local partition is free
+
+See ``docs/lint.md`` for the full rule catalogue.
+"""
+
+from .engine import Finding, LintEngine, lint_paths, lint_source
+from .registry import Rule, all_rules, get_rule, register
+from .runtime import (
+    AuditedStore,
+    CommAuditError,
+    audit_store,
+    autograd_sanitizer,
+)
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "lint_paths",
+    "lint_source",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "AuditedStore",
+    "CommAuditError",
+    "audit_store",
+    "autograd_sanitizer",
+]

@@ -1,0 +1,27 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_numpy_alias(name: str) -> bool:
+    return name in ("np", "numpy")
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's callee, if statically resolvable."""
+    return dotted_name(node.func)

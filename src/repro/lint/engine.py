@@ -1,0 +1,166 @@
+"""The lint driver: file discovery, parsing, suppression, dispatch.
+
+The engine parses each module once and hands the tree to every
+applicable rule.  Findings whose line carries a
+``# lint: disable=R001[,R002...]`` (or a bare ``# lint: disable``)
+trailing comment are dropped; suppression comments are read with
+:mod:`tokenize` so string literals that merely *mention* the syntax do
+not suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .registry import Rule, all_rules
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable(?:=(?P<ids>[A-Za-z0-9_,\s]+))?")
+
+_SKIP_DIRS = {"__pycache__", ".git", "build", "dist", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule ids (``None`` = all rules)."""
+    table: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                table[tok.start[0]] = None
+            else:
+                parsed = {part.strip().upper()
+                          for part in ids.split(",") if part.strip()}
+                existing = table.get(tok.start[0], set())
+                if existing is None:
+                    continue
+                table[tok.start[0]] = existing | parsed
+    except tokenize.TokenError:
+        pass  # unterminated constructs; parse error surfaces elsewhere
+    return table
+
+
+def _module_path(path: Path) -> str:
+    """Path rooted at the ``repro`` package when possible.
+
+    ``src/repro/distributed/views.py`` -> ``repro/distributed/views.py``
+    so rules can scope themselves independently of where the checkout
+    lives or which directory the CLI was pointed at.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return path.as_posix()
+
+
+@dataclass
+class LintEngine:
+    """Runs a set of rules over files, sources, or directory trees."""
+
+    rules: Sequence[Rule] = field(default_factory=all_rules)
+
+    def select(self, rule_ids: Iterable[str]) -> "LintEngine":
+        wanted = {rid.upper() for rid in rule_ids}
+        unknown = wanted - {r.rule_id for r in self.rules}
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        return LintEngine(
+            rules=[r for r in self.rules if r.rule_id in wanted])
+
+    # -- entry points ---------------------------------------------------
+
+    def check_source(self, source: str, modpath: str) -> List[Finding]:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [Finding(rule_id="E999", path=modpath,
+                            line=exc.lineno or 0, col=exc.offset or 0,
+                            message=f"syntax error: {exc.msg}")]
+        suppressed = _suppressions(source)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            if not rule.applies_to(modpath):
+                continue
+            findings.extend(rule.check(tree, modpath))
+        kept = []
+        for f in findings:
+            ids = suppressed.get(f.line, set())
+            if ids is None or (ids and f.rule_id in ids):
+                continue
+            kept.append(f)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return kept
+
+    def check_file(self, path: Path) -> List[Finding]:
+        source = path.read_text(encoding="utf-8")
+        return self.check_source(source, _module_path(path))
+
+    def check_paths(self, paths: Sequence[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for path in paths:
+            for file in sorted(_iter_python_files(path)):
+                findings.extend(self.check_file(file))
+        return findings
+
+
+def _iter_python_files(root: Path) -> Iterable[Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in root.rglob("*.py"):
+        if not any(part in _SKIP_DIRS or part.endswith(".egg-info")
+                   for part in path.parts):
+            yield path
+
+
+# -- convenience wrappers ----------------------------------------------
+
+
+def lint_source(source: str, modpath: str = "repro/module.py",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint a source string as if it lived at ``modpath``."""
+    engine = LintEngine() if rules is None else LintEngine(rules=list(rules))
+    return engine.check_source(source, modpath)
+
+
+def lint_paths(paths: Sequence[str | Path],
+               select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Lint files/directories; the CLI and the pytest gate both use this."""
+    engine = LintEngine()
+    if select:
+        engine = engine.select(select)
+    return engine.check_paths([Path(p) for p in paths])

@@ -1,0 +1,51 @@
+"""Generic hygiene rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .astutils import call_name
+from .registry import Rule, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray",
+                  "collections.defaultdict", "defaultdict",
+                  "collections.OrderedDict", "OrderedDict"}
+
+
+@register
+class MutableDefaultArgRule(Rule):
+    """R101: mutable default argument values.
+
+    A ``def f(x, acc=[])`` default is created once and shared by every
+    call — state leaks across calls (and across workers in the
+    simulated cluster).
+    """
+
+    rule_id = "R101"
+    name = "mutable-default-arg"
+    description = "mutable default argument value"
+
+    def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        from .engine import Finding
+
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                bad = isinstance(default, _MUTABLE_LITERALS)
+                if isinstance(default, ast.Call):
+                    bad = call_name(default) in _MUTABLE_CALLS
+                if bad:
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=default.lineno, col=default.col_offset,
+                        message=(f"mutable default argument in "
+                                 f"{node.name}(): use None and create "
+                                 "inside the function")))
+        return findings

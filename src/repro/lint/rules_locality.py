@@ -1,0 +1,79 @@
+"""Data-locality rule.
+
+The paper's communication-cost claims (Figs. 4/8) hold only if every
+remote byte a worker consumes flows through a CommMeter-charged path:
+the :class:`~repro.distributed.views.WorkerGraphView` composite or a
+master-side store method.  Worker/sampler code that touches CSR
+adjacency internals (``.indptr``/``.indices``), constructs a raw
+:class:`~repro.sampling.blocks.GraphNeighborSource`, or reads the
+master's feature matrix (``*.full.features``) bypasses that
+accounting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .astutils import call_name
+from .registry import Rule, register
+
+
+@register
+class RawGraphAccessRule(Rule):
+    """R002: uncharged graph access in worker-side code.
+
+    Scope: modules under ``repro/distributed/`` and ``repro/sampling/``.
+    Exempt: ``repro/distributed/store.py`` (the master-side stores own
+    the data and *are* the charged path) and
+    ``repro/sampling/blocks.py`` (the primitive CSR adapter every
+    source builds on).  Deliberate local-partition reads elsewhere must
+    carry an explicit ``# lint: disable=R002`` with a justification.
+    """
+
+    rule_id = "R002"
+    name = "raw-graph-access"
+    description = ("direct Graph/PartitionedGraph structure or master "
+                   "feature access outside the charged store paths")
+
+    _SCOPES = ("repro/distributed/", "repro/sampling/")
+    _EXEMPT = ("repro/distributed/store.py", "repro/sampling/blocks.py")
+    _ADJACENCY_ATTRS = {"indptr", "indices"}
+
+    def applies_to(self, modpath: str) -> bool:
+        return (modpath.startswith(self._SCOPES)
+                and modpath not in self._EXEMPT)
+
+    def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        from .engine import Finding
+
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                if node.attr in self._ADJACENCY_ATTRS:
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"raw CSR access .{node.attr}: go through "
+                                 "WorkerGraphView / store methods so the "
+                                 "CommMeter sees the transfer")))
+                elif (node.attr == "features"
+                        and isinstance(node.value, ast.Attribute)
+                        and node.value.attr == "full"):
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=("master feature matrix read "
+                                 "(*.full.features): fetch through the "
+                                 "remote store so feature bytes are "
+                                 "charged")))
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name and name.split(".")[-1] == "GraphNeighborSource":
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=("raw GraphNeighborSource constructed in "
+                                 "worker-side code: adjacency must be "
+                                 "served by a charged store path")))
+        return findings

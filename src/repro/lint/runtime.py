@@ -1,0 +1,164 @@
+"""Runtime sanitizers: autograd freezing and communication auditing.
+
+These are the dynamic counterparts of the static rules:
+
+* :func:`autograd_sanitizer` (vs. rule R003) freezes every numpy array
+  as it enters the autodiff graph, so an in-place mutation that would
+  silently corrupt gradients raises ``ValueError: assignment
+  destination is read-only`` at the mutation site.  Arrays are thawed
+  after each ``backward`` (optimizers legitimately update parameters in
+  place between steps) and when the context exits.
+* :func:`audit_store` (vs. rule R002) wraps a master-side store and
+  cross-checks every structure/feature answer against the bytes
+  actually charged to the worker's
+  :class:`~repro.distributed.comm.CommMeter`, recomputing the expected
+  cost from the returned payload with the same formulas the meter
+  uses.  An uncharged (``meter=None``) or under-charged answer raises
+  :class:`CommAuditError`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..distributed.comm import CommMeter, feature_nbytes, structure_nbytes
+from ..nn import tensor as _tensor
+
+
+class ArrayFreezer:
+    """Tracks arrays frozen while they participate in an autodiff graph."""
+
+    def __init__(self) -> None:
+        self._frozen: List[np.ndarray] = []
+
+    def freeze(self, array: np.ndarray) -> None:
+        # Views of already-frozen bases report non-writeable and are
+        # skipped; only arrays this freezer actually flipped are thawed.
+        if array.flags.writeable:
+            array.flags.writeable = False
+            self._frozen.append(array)
+
+    def thaw_all(self) -> None:
+        for array in self._frozen:
+            try:
+                array.flags.writeable = True
+            except ValueError:  # view whose base is still frozen
+                pass
+        self._frozen.clear()
+
+    @property
+    def num_frozen(self) -> int:
+        return len(self._frozen)
+
+
+@contextmanager
+def autograd_sanitizer() -> Iterator[ArrayFreezer]:
+    """Debug mode: in-place mutation of graph-entered arrays raises.
+
+    >>> with autograd_sanitizer():
+    ...     loss = model(batch).sum()
+    ...     some_tensor.data[0] = 1.0   # ValueError: read-only
+    """
+    freezer = ArrayFreezer()
+    previous = _tensor.set_autograd_sanitizer(freezer)
+    try:
+        yield freezer
+    finally:
+        _tensor.set_autograd_sanitizer(previous)
+        freezer.thaw_all()
+
+
+class CommAuditError(RuntimeError):
+    """A remote store answer did not match the bytes charged for it."""
+
+
+def _charged(meter: Optional[CommMeter]) -> Tuple[int, int]:
+    if meter is None:
+        return 0, 0
+    return meter.current.structure_bytes, meter.current.feature_bytes
+
+
+class AuditedStore:
+    """Byte-exact audit proxy around a master-side graph store.
+
+    Wraps :class:`~repro.distributed.store.RemoteGraphStore` or
+    :class:`~repro.distributed.store.SparsifiedRemoteStore` (anything
+    with the store protocol).  Worker views talk to it exactly as to
+    the raw store; every answer is verified against the meter delta.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
+    def _verify(self, kind: str, expected: int, before: Tuple[int, int],
+                meter: Optional[CommMeter]) -> None:
+        after = _charged(meter)
+        charged = (after[0] - before[0] if kind == "structure"
+                   else after[1] - before[1])
+        if charged != expected:
+            detail = "uncharged" if charged == 0 else f"charged {charged}"
+            raise CommAuditError(
+                f"{type(self._store).__name__}.{kind} answer worth "
+                f"{expected} bytes was {detail} "
+                f"(meter={'absent' if meter is None else 'present'}): "
+                "every remote read must be charged to the worker's "
+                "CommMeter")
+
+    # -- audited store protocol ----------------------------------------
+
+    def neighbors_batch(self, nodes: np.ndarray,
+                        meter: Optional[CommMeter]):
+        nodes = np.asarray(nodes, dtype=np.int64)
+        before = _charged(meter)
+        nbrs, weights, offsets = self._store.neighbors_batch(nodes, meter)
+        if int(offsets[-1]) != nbrs.size:
+            raise CommAuditError(
+                "malformed structure answer: offsets do not cover the "
+                "neighbor payload")
+        expected = structure_nbytes(nbrs.size, nodes.size,
+                                    weighted=self._store.weighted)
+        self._verify("structure", expected, before, meter)
+        return nbrs, weights, offsets
+
+    def complete_neighbors_batch(self, nodes: np.ndarray,
+                                 local_counts: np.ndarray,
+                                 meter: Optional[CommMeter]):
+        nodes = np.asarray(nodes, dtype=np.int64)
+        local_counts = np.asarray(local_counts, dtype=np.int64)
+        before = _charged(meter)
+        nbrs, weights, offsets = self._store.complete_neighbors_batch(
+            nodes, local_counts, meter)
+        # Independently recompute the delta cost from the master copy.
+        full_counts = self._store.graph.degrees[nodes]
+        if not np.array_equal(np.diff(offsets), full_counts):
+            raise CommAuditError(
+                "complete-data answer is not full fidelity: returned "
+                "neighbor counts disagree with the master graph")
+        missing = np.maximum(full_counts - local_counts, 0)
+        num_incomplete = int(np.count_nonzero(missing))
+        expected = (structure_nbytes(int(missing.sum()), num_incomplete)
+                    if num_incomplete else 0)
+        self._verify("structure", expected, before, meter)
+        return nbrs, weights, offsets
+
+    def fetch_features(self, nodes: np.ndarray,
+                       meter: Optional[CommMeter]) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        before = _charged(meter)
+        feats = self._store.fetch_features(nodes, meter)
+        expected = feature_nbytes(nodes.size, feats.shape[1])
+        self._verify("features", expected, before, meter)
+        return feats
+
+
+def audit_store(store):
+    """Wrap ``store`` in an :class:`AuditedStore` (idempotent)."""
+    if isinstance(store, AuditedStore) or store is None:
+        return store
+    return AuditedStore(store)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from ..rng import ensure_rng
 from ..eval.metrics import auc, hits_at_k
 from ..graph.graph import Graph
 from ..graph.splits import EdgeSplit
@@ -48,7 +49,7 @@ class FullGraphGCN(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         dims = [in_dim] + [hidden_dim] * num_layers
         self.layers = [Linear(dims[i], dims[i + 1], rng=rng)
                        for i in range(num_layers)]

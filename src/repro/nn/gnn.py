@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..sampling.blocks import Block
 from .module import Linear, Module, Parameter, xavier_uniform
 from .tensor import (
@@ -95,7 +96,7 @@ class GATConv(Module):
         super().__init__()
         if out_dim % num_heads:
             raise ValueError("out_dim must be divisible by num_heads")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.num_heads = num_heads
         self.head_dim = out_dim // num_heads
         self.negative_slope = negative_slope
@@ -137,7 +138,7 @@ class GATv2Conv(Module):
         super().__init__()
         if out_dim % num_heads:
             raise ValueError("out_dim must be divisible by num_heads")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.num_heads = num_heads
         self.head_dim = out_dim // num_heads
         self.negative_slope = negative_slope
@@ -176,7 +177,7 @@ class GINConv(Module):
     def __init__(self, in_dim: int, out_dim: int,
                  rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.eps = Parameter(np.zeros(1))
         self.fc1 = Linear(in_dim, out_dim, rng=rng)
         self.fc2 = Linear(out_dim, out_dim, rng=rng)

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..sampling.blocks import ComputationGraph
 from .gnn import GATConv, GATv2Conv, GCNConv, GINConv, SAGEConv
 from .module import MLP, Dropout, Linear, Module
@@ -62,7 +63,7 @@ class GNNModel(Module):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         out_dim = hidden_dim if out_dim is None else out_dim
         dims = [in_dim] + [hidden_dim] * (num_layers - 1) + [out_dim]
         self.gnn_type = gnn_type.lower()

@@ -12,6 +12,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .tensor import Tensor, dropout, relu
 
 
@@ -131,7 +132,7 @@ class Linear(Module):
                  bias: bool = True,
                  rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(xavier_uniform((in_features, out_features), rng))
@@ -151,7 +152,7 @@ class Dropout(Module):
                  rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
         return dropout(x, self.p, self.training, self.rng)
@@ -166,7 +167,7 @@ class MLP(Module):
         super().__init__()
         if len(dims) < 2:
             raise ValueError("MLP needs at least input and output dims")
-        rng = rng or np.random.default_rng()
+        rng = ensure_rng(rng)
         self.layers = [Linear(d_in, d_out, bias=bias, rng=rng)
                        for d_in, d_out in zip(dims[:-1], dims[1:])]
         self.dropout = Dropout(dropout_p, rng=rng) if dropout_p > 0 else None

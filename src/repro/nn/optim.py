@@ -54,7 +54,10 @@ class SGD(Optimizer):
                 vel *= self.momentum
                 vel += grad
                 grad = vel
-            p.data -= self.lr * grad
+            # Sanctioned in-place update: runs between backward passes,
+            # when no live graph captures p.data (the autograd
+            # sanitizer thaws parameters at the end of backward).
+            p.data -= self.lr * grad  # lint: disable=R003
 
 
 class Adam(Optimizer):
@@ -91,4 +94,5 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad ** 2
             m_hat = m / bias1
             v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Sanctioned in-place update (see SGD.step above).
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: disable=R003

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 
 
@@ -212,7 +213,7 @@ def metis_partition(
         return np.zeros(graph.num_nodes, dtype=np.int64)
     if num_parts > graph.num_nodes:
         raise ValueError("more partitions than nodes")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     coarsen_until = coarsen_until or max(32 * num_parts, 128)
 
     levels: List[Tuple[_CoarseGraph, np.ndarray]] = []

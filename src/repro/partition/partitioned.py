@@ -97,6 +97,20 @@ class PartitionedGraph:
         """Boolean mask: which of ``nodes`` have locally stored features."""
         return self._feature_mask[part, np.asarray(nodes, dtype=np.int64)]
 
+    def local_feature_rows(self, nodes: np.ndarray) -> np.ndarray:
+        """Feature rows as a fresh float32 array from worker-local storage.
+
+        In-process, every worker's feature shard aliases the full
+        matrix, so this serves any row — callers are responsible for
+        only using it for rows :meth:`has_feature_locally` reports as
+        local (or already paid for) and for routing genuinely remote
+        rows through a charged store path.
+        """
+        if self.full.features is None:
+            raise ValueError("graph has no features")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return self.full.features[nodes].astype(np.float32)
+
     def preprocessing_feature_nbytes(self) -> int:
         """Bytes of feature data shipped at distribution time (one-off).
 

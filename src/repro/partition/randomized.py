@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 from .metis import metis_partition
 
@@ -32,7 +33,7 @@ def random_tma_partition(
     """RandomTMA: i.i.d. uniform node-to-partition assignment."""
     if num_parts < 1:
         raise ValueError("num_parts must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     assign = rng.integers(0, num_parts, size=graph.num_nodes)
     # Guarantee no partition is empty (possible on tiny graphs).
     for part in range(num_parts):
@@ -54,7 +55,7 @@ def super_tma_partition(
     """
     if num_parts < 1:
         raise ValueError("num_parts must be >= 1")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if num_clusters is None:
         num_clusters = min(16 * num_parts, max(num_parts, graph.num_nodes // 4))
     num_clusters = max(num_parts, num_clusters)

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 
 
@@ -42,7 +43,7 @@ def ldg_partition(
         raise ValueError("more partitions than nodes")
     if num_parts == 1:
         return np.zeros(graph.num_nodes, dtype=np.int64)
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     n = graph.num_nodes
     capacity = capacity_factor * n / num_parts
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 import numpy as np
+from ..rng import ensure_rng
 
 
 class EdgeBatchLoader:
@@ -29,7 +30,7 @@ class EdgeBatchLoader:
             raise ValueError("batch_size must be positive")
         self.edges = edges
         self.batch_size = int(batch_size)
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.drop_last = drop_last
 
     def __len__(self) -> int:

@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 
 
@@ -77,7 +78,7 @@ class PerSourceUniformNegativeSampler:
         self.candidates = np.asarray(candidates, dtype=np.int64)
         if self.candidates.size == 0:
             raise ValueError("candidate set must be non-empty")
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
 
     def sample(self, sources: np.ndarray) -> np.ndarray:
@@ -116,7 +117,7 @@ class GlobalUniformNegativeSampler:
         self.candidates = np.asarray(candidates, dtype=np.int64)
         if self.candidates.size < 2:
             raise ValueError("need at least two candidate nodes")
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
 
     def sample(self, count: int) -> np.ndarray:
@@ -160,7 +161,7 @@ class DegreeWeightedNegativeSampler:
         weights = graph.degrees[self.candidates].astype(np.float64) ** beta
         weights = np.maximum(weights, 1e-12)
         self.probs = weights / weights.sum()
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
 
     def sample(self, sources: np.ndarray) -> np.ndarray:
@@ -193,7 +194,7 @@ class InBatchNegativeSampler:
                  rng: Optional[np.random.Generator] = None,
                  max_rounds: int = 8) -> None:
         self.membership = EdgeMembership(graph)
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
 
     def sample(self, batch: np.ndarray) -> np.ndarray:

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..rng import ensure_rng
 from .blocks import Block, ComputationGraph, GraphNeighborSource, NeighborSource
 
 
@@ -91,7 +92,7 @@ class NeighborSampler:
         if not fanouts:
             raise ValueError("need at least one fanout")
         self.fanouts = list(fanouts)
-        self.rng = rng or np.random.default_rng()
+        self.rng = ensure_rng(rng)
 
     @property
     def num_layers(self) -> int:
@@ -105,7 +106,11 @@ class NeighborSampler:
         :class:`~repro.graph.Graph` (auto-wrapped).
         """
         if not hasattr(source, "neighbors_batch"):
-            source = GraphNeighborSource(source)
+            # Master-side convenience: the evaluator and the
+            # centralized baseline sample from an explicit raw Graph
+            # they own outright; worker paths always pass their
+            # WorkerGraphView here.
+            source = GraphNeighborSource(source)  # lint: disable=R002
         seeds = np.unique(np.asarray(seeds, dtype=np.int64))
         blocks = []
         frontier = seeds

@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 from ..graph.laplacian import exact_effective_resistance
 from .effective_resistance import spielman_srivastava_sparsify
@@ -79,7 +80,7 @@ def tree_plus_er_sparsify(
     remaining budget on effective-resistance sampling of the rest.
     A natural "future work" improvement over the paper's sampler.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if graph.num_edges == 0:
         return Graph.empty(graph.num_nodes, features=graph.features)
     forest = _spanning_forest_edges(graph)

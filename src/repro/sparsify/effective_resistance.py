@@ -17,6 +17,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 
 
@@ -60,7 +61,7 @@ def spielman_srivastava_sparsify(
     (Algorithm 1 line 13: the sparsified partition keeps V^i), which is
     what preserves the negative-sampling space.
     """
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
     edges = graph.edge_list()

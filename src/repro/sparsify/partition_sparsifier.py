@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..rng import ensure_rng
 from ..graph.graph import Graph
 from ..partition.partitioned import PartitionedGraph
 from .alternatives import sparsify_by_kind
@@ -56,7 +57,7 @@ def sparsify_partitions(
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
-    rng = rng or np.random.default_rng()
+    rng = ensure_rng(rng)
     started = time.perf_counter()
     graphs: List[Graph] = []
     for part in range(partitioned.num_parts):

@@ -1,0 +1,152 @@
+"""Runtime sanitizer tests: autograd freezing and CommMeter auditing."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import CommMeter, RemoteGraphStore, WorkerGraphView
+from repro.distributed.comm import feature_nbytes, structure_nbytes
+from repro.distributed.store import SparsifiedRemoteStore
+from repro.lint import CommAuditError, audit_store, autograd_sanitizer
+from repro.lint.runtime import AuditedStore
+from repro.nn.tensor import Tensor
+from repro.partition import partition_graph
+from repro.sparsify import sparsify_with_level
+
+
+class TestAutogradSanitizer:
+    def test_inplace_mutation_of_graph_entered_data_raises(self):
+        with autograd_sanitizer():
+            t = Tensor(np.ones(4), requires_grad=True)
+            loss = (t * 2.0).sum()
+            with pytest.raises(ValueError, match="read-only"):
+                t.data[0] = 99.0
+            loss.backward()
+        assert t.grad is not None
+
+    def test_backward_thaws_for_optimizer_updates(self):
+        with autograd_sanitizer():
+            t = Tensor(np.ones(3), requires_grad=True)
+            (t * t).sum().backward()
+            # Post-backward in-place update (what optimizers do) works.
+            t.data -= 0.1 * t.grad
+        assert np.allclose(t.data, 0.8)
+
+    def test_context_exit_thaws_unconsumed_graphs(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with autograd_sanitizer():
+            _ = (t * 3.0).sum()  # forward only, never backward'd
+            assert not t.data.flags.writeable
+        t.data[0] = 7.0  # thawed on exit
+        assert t.data[0] == 7.0
+
+    def test_rebound_data_is_frozen_on_next_op(self):
+        with autograd_sanitizer():
+            t = Tensor(np.ones(3), requires_grad=True)
+            t.data = np.full(3, 2.0)  # rebind (load_state_dict style)
+            _ = (t + 1.0).sum()
+            with pytest.raises(ValueError, match="read-only"):
+                t.data[1] = 0.0
+
+    def test_training_step_runs_under_sanitizer(self):
+        from repro.nn.models import build_model
+        from repro.nn.loss import bce_with_logits
+        from repro.nn.optim import Adam
+        from repro.sampling.neighbor import NeighborSampler
+        from repro.graph import synthetic_lp_graph
+
+        rng = np.random.default_rng(0)
+        graph = synthetic_lp_graph(num_nodes=40, target_edges=120,
+                                   feature_dim=8, num_communities=2,
+                                   rng=rng)
+        model = build_model("sage", 8, 16, num_layers=2, seed=0)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        sampler = NeighborSampler([5, 5], rng=np.random.default_rng(1))
+        with autograd_sanitizer():
+            comp = sampler.sample(graph, np.arange(10))
+            feats = graph.features[comp.input_nodes]
+            scores = model(comp, feats, np.arange(5), np.arange(5, 10))
+            loss = bce_with_logits(scores, np.ones(5))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert np.isfinite(loss.item())
+
+
+class TestCommAudit:
+    def test_uncharged_read_trips_audit(self, featured_graph):
+        store = audit_store(RemoteGraphStore(featured_graph))
+        nodes = np.arange(10, dtype=np.int64)
+        with pytest.raises(CommAuditError, match="uncharged"):
+            store.neighbors_batch(nodes, None)  # meter withheld
+        with pytest.raises(CommAuditError, match="uncharged"):
+            store.fetch_features(nodes, None)
+
+    def test_charged_reads_pass_with_exact_bytes(self, featured_graph):
+        store = audit_store(RemoteGraphStore(featured_graph))
+        meter = CommMeter()
+        nodes = np.arange(10, dtype=np.int64)
+        nbrs, _, _ = store.neighbors_batch(nodes, meter)
+        assert meter.current.structure_bytes == structure_nbytes(
+            nbrs.size, nodes.size)
+        feats = store.fetch_features(nodes, meter)
+        assert meter.current.feature_bytes == feature_nbytes(
+            nodes.size, feats.shape[1])
+
+    def test_undercharging_store_is_caught(self, featured_graph):
+        class BuggyStore(RemoteGraphStore):
+            def neighbors_batch(self, nodes, meter):
+                # "Forgets" to charge: bypasses the metered path.
+                return self._source.neighbors_batch(nodes)
+
+        store = audit_store(BuggyStore(featured_graph))
+        with pytest.raises(CommAuditError):
+            store.neighbors_batch(np.arange(5, dtype=np.int64), CommMeter())
+
+    def test_sparsified_store_audits_weighted_payload(self, featured_graph):
+        pg = partition_graph(featured_graph, 2, "metis",
+                             rng=np.random.default_rng(0), mirror=True)
+        sparsified = [
+            sparsify_with_level(pg.local_graph(p), 0.5,
+                                rng=np.random.default_rng(p))
+            for p in range(2)
+        ]
+        store = audit_store(SparsifiedRemoteStore(
+            featured_graph, sparsified, pg.assignment))
+        meter = CommMeter()
+        nodes = np.arange(featured_graph.num_nodes, dtype=np.int64)
+        nbrs, _, _ = store.neighbors_batch(nodes, meter)
+        assert meter.current.structure_bytes == structure_nbytes(
+            nbrs.size, nodes.size, weighted=True)
+        with pytest.raises(CommAuditError):
+            store.neighbors_batch(nodes, None)
+
+    def test_complete_path_audited_through_view(self, featured_graph):
+        pg = partition_graph(featured_graph, 2, "metis",
+                             rng=np.random.default_rng(0), mirror=False)
+        meter = CommMeter()
+        view = WorkerGraphView(
+            pg, 0, remote=audit_store(RemoteGraphStore(featured_graph)),
+            meter=meter)
+        nodes = np.arange(featured_graph.num_nodes, dtype=np.int64)
+        nbrs, _, _ = view.neighbors_batch(nodes)
+        assert nbrs.size == featured_graph.num_directed_edges
+        assert meter.current.structure_bytes > 0
+
+    def test_view_with_audited_store_meter_none_trips(self, featured_graph):
+        pg = partition_graph(featured_graph, 2, "metis",
+                             rng=np.random.default_rng(0), mirror=False)
+        view = WorkerGraphView(
+            pg, 0, remote=audit_store(RemoteGraphStore(featured_graph)),
+            meter=None)
+        foreign = np.arange(featured_graph.num_nodes, dtype=np.int64)
+        with pytest.raises(CommAuditError):
+            view.neighbors_batch(foreign)
+
+    def test_audit_store_idempotent_and_transparent(self, featured_graph):
+        store = RemoteGraphStore(featured_graph)
+        wrapped = audit_store(store)
+        assert isinstance(wrapped, AuditedStore)
+        assert audit_store(wrapped) is wrapped
+        assert audit_store(None) is None
+        assert wrapped.complete is True  # attribute passthrough
+        assert wrapped.weighted is False
