@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Markdown link checker for docs/ and README.md (stdlib only).
+
+Checks every inline link ``[text](target)`` in the repository's
+markdown documentation:
+
+* relative file links must resolve to an existing file (relative to
+  the markdown file containing them);
+* fragment links — ``#anchor`` alone or ``file.md#anchor`` — must
+  match a heading in the target file, using GitHub's slug convention
+  (lowercase, punctuation stripped, spaces to dashes);
+* ``http(s)`` / ``mailto`` links are skipped (no network in CI).
+
+Exit code 0 when every link resolves, 1 otherwise (one line per
+broken link).  Run directly or via ``scripts/ci.sh``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Markdown sources covered by the check.
+DOC_FILES = sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs defined by a markdown file's headings."""
+    source = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in _HEADING_RE.finditer(source)}
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for each inline link."""
+    source = path.read_text(encoding="utf-8")
+    # Blank out fenced code blocks, preserving line numbers.
+    def _blank(match: re.Match) -> str:
+        return "\n" * match.group(0).count("\n")
+    source = _CODE_FENCE_RE.sub(_blank, source)
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return error strings for every broken link in one file."""
+    errors = []
+    try:
+        label = path.relative_to(REPO)
+    except ValueError:  # files outside the repo (tests)
+        label = path
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            dest = (path.parent / base).resolve()
+            if not dest.exists():
+                errors.append(f"{label}:{lineno}: missing file {target!r}")
+                continue
+        else:
+            dest = path
+        if fragment:
+            if dest.suffix != ".md":
+                continue  # anchors into non-markdown files: unchecked
+            if fragment not in heading_slugs(dest):
+                errors.append(f"{label}:{lineno}: missing anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    """Check every documentation file; print failures; return exit code."""
+    errors = []
+    for path in DOC_FILES:
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err)
+    if not errors:
+        print(f"checked {len(DOC_FILES)} files: all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,3 +10,6 @@ python -m pytest -x -q
 
 echo "== repro.lint =="
 python -m repro.lint src/ --format json
+
+echo "== docs links =="
+python scripts/check_links.py

@@ -49,6 +49,7 @@ from ..distributed.centralized import train_centralized
 from ..distributed.store import RemoteGraphStore, SparsifiedRemoteStore
 from ..distributed.trainer import DistributedTrainer, TrainConfig, TrainResult
 from ..graph.splits import EdgeSplit
+from ..obs import RunObserver
 from ..partition import partition_graph
 from ..partition.partitioned import PartitionedGraph
 from ..sparsify.partition_sparsifier import sparsify_partitions
@@ -134,6 +135,7 @@ def build_trainer(
     """
     rng = rng or np.random.default_rng(config.seed)
     graph = split.train_graph
+    observer = RunObserver() if config.observe else None
     if partitioned is None:
         partitioned = partition_graph(
             graph, num_parts, strategy=spec.partition_strategy,
@@ -144,7 +146,7 @@ def build_trainer(
         remote_store = RemoteGraphStore(graph)
     elif spec.remote == "sparsified":
         sparsified = sparsify_partitions(partitioned, alpha=alpha, rng=rng,
-                                         kind=sparsifier_kind)
+                                         kind=sparsifier_kind, obs=observer)
         remote_store = SparsifiedRemoteStore(
             graph, sparsified.graphs, partitioned.assignment)
 
@@ -166,6 +168,7 @@ def build_trainer(
         global_negatives=spec.global_negatives,
         correction_hook=correction_hook,
         positive_mode=positive_mode,
+        observer=observer,
     )
 
 

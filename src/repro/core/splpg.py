@@ -33,6 +33,7 @@ import numpy as np
 
 from ..distributed.store import SparsifiedRemoteStore
 from ..distributed.trainer import DistributedTrainer, TrainConfig, TrainResult
+from ..obs import RunObserver
 from ..eval.evaluator import score_pairs
 from ..graph.graph import Graph
 from ..graph.splits import EdgeSplit, split_edges
@@ -92,6 +93,10 @@ class SpLPG:
         self.prepared: Optional[PreparedData] = None
         self.result: Optional[TrainResult] = None
         self._trainer: Optional[DistributedTrainer] = None
+        # One observer per framework instance so preprocessing spans
+        # (sparsify) and training spans land on the same trace.
+        self._observer: Optional[RunObserver] = (
+            RunObserver() if self.config.observe else None)
 
     # ------------------------------------------------------------------
 
@@ -106,7 +111,7 @@ class SpLPG:
         partitioned = partition_graph(graph, self.num_parts,
                                       strategy="metis", rng=rng, mirror=True)
         sparsified = sparsify_partitions(partitioned, alpha=self.alpha,
-                                         rng=rng)
+                                         rng=rng, obs=self._observer)
         self.prepared = PreparedData(partitioned=partitioned,
                                      sparsified=sparsified)
         return self.prepared
@@ -137,6 +142,7 @@ class SpLPG:
             config=self.config,
             remote_store=store,
             global_negatives=True,
+            observer=self._observer,
         )
         self.result = self._trainer.train()
         self._split = split
@@ -159,6 +165,7 @@ class SpLPG:
 
     @property
     def communication_gb_per_epoch(self) -> float:
+        """Graph-data traffic per epoch in GB (the paper's cost metric)."""
         if self.result is None:
             raise RuntimeError("call fit() first")
         return self.result.graph_data_gb_per_epoch

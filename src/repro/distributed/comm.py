@@ -21,7 +21,7 @@ server to all workers during one training epoch, in gigabytes.  The
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
 BYTES_PER_EDGE = 16
 BYTES_PER_EDGE_WEIGHT = 8
@@ -64,7 +64,16 @@ class CommRecord:
 
     @property
     def total_bytes(self) -> int:
+        """Graph data plus synchronization traffic."""
         return self.graph_data_bytes + self.sync_bytes
+
+    def to_dict(self) -> Dict[str, int]:
+        """Serializable snapshot of all three byte buckets."""
+        return {
+            "feature_bytes": self.feature_bytes,
+            "structure_bytes": self.structure_bytes,
+            "sync_bytes": self.sync_bytes,
+        }
 
     def __iadd__(self, other: "CommRecord") -> "CommRecord":
         self.feature_bytes += other.feature_bytes
@@ -75,23 +84,41 @@ class CommRecord:
 
 @dataclass
 class CommMeter:
-    """Cumulative communication ledger with per-epoch granularity."""
+    """Cumulative communication ledger with per-epoch granularity.
+
+    When a :class:`~repro.obs.observer.RunObserver` is attached via
+    ``obs``, every charge is mirrored into the run's metric counters
+    (``comm.feature_bytes``, ``comm.structure_bytes``,
+    ``comm.sync_bytes``) with the exact same byte value — the
+    ``RunReport`` totals therefore match the ledger bit for bit.
+    """
 
     current: CommRecord = field(default_factory=CommRecord)
     epochs: List[CommRecord] = field(default_factory=list)
+    obs: Optional[object] = field(default=None, repr=False, compare=False)
 
     # -- charging -------------------------------------------------------
 
     def charge_features(self, num_nodes: int, feature_dim: int) -> None:
-        self.current.feature_bytes += feature_nbytes(num_nodes, feature_dim)
+        """Charge ``num_nodes`` remotely fetched feature vectors."""
+        nbytes = feature_nbytes(num_nodes, feature_dim)
+        self.current.feature_bytes += nbytes
+        if self.obs is not None:
+            self.obs.counter("comm.feature_bytes").inc(nbytes)
 
     def charge_structure(self, num_edges: int, num_queried_nodes: int,
                          weighted: bool = False) -> None:
-        self.current.structure_bytes += structure_nbytes(
-            num_edges, num_queried_nodes, weighted)
+        """Charge one remote structure answer (edges + queried ids)."""
+        nbytes = structure_nbytes(num_edges, num_queried_nodes, weighted)
+        self.current.structure_bytes += nbytes
+        if self.obs is not None:
+            self.obs.counter("comm.structure_bytes").inc(nbytes)
 
     def charge_sync(self, nbytes: int) -> None:
+        """Charge one worker's share of a synchronization round."""
         self.current.sync_bytes += int(nbytes)
+        if self.obs is not None:
+            self.obs.counter("comm.sync_bytes").inc(int(nbytes))
 
     # -- epoch bookkeeping ----------------------------------------------
 
@@ -105,6 +132,7 @@ class CommMeter:
     # -- summaries --------------------------------------------------------
 
     def total(self) -> CommRecord:
+        """Sum of every closed epoch plus the open one."""
         total = CommRecord()
         for rec in self.epochs:
             total += rec
@@ -112,6 +140,7 @@ class CommMeter:
         return total
 
     def graph_data_gb_per_epoch(self) -> List[float]:
+        """Graph-data GB of each closed epoch, in order."""
         return [rec.graph_data_bytes / GB for rec in self.epochs]
 
     def mean_graph_data_gb(self) -> float:

@@ -46,6 +46,7 @@ class CommEstimate:
 
     @property
     def graph_data_gb(self) -> float:
+        """Predicted feature + structure transfer combined, in GB."""
         return self.feature_gb + self.structure_gb
 
 

@@ -37,6 +37,8 @@ class RemoteGraphStore:
 
     weighted = False
     complete = True
+    #: Optional RunObserver; the trainer attaches one when observing.
+    obs = None
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
@@ -44,11 +46,16 @@ class RemoteGraphStore:
 
     def neighbors_batch(self, nodes: np.ndarray, meter: Optional[CommMeter]
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact neighbor lists of ``nodes``, charged to ``meter``."""
         nbrs, weights, offsets = self._source.neighbors_batch(nodes)
         if meter is not None:
             meter.charge_structure(num_edges=nbrs.size,
                                    num_queried_nodes=nodes.size,
                                    weighted=self.weighted)
+        if self.obs is not None:
+            self.obs.counter("store.structure_requests").inc(1)
+            self.obs.counter("store.structure_nodes").inc(nodes.size)
+            self.obs.counter("store.structure_edges").inc(int(nbrs.size))
         return nbrs, weights, offsets
 
     def complete_neighbors_batch(
@@ -75,14 +82,22 @@ class RemoteGraphStore:
                     num_edges=int(missing.sum()),
                     num_queried_nodes=num_incomplete,
                     weighted=False)
+        if self.obs is not None:
+            self.obs.counter("store.structure_requests").inc(1)
+            self.obs.counter("store.structure_nodes").inc(nodes.size)
+            self.obs.counter("store.completed_edges").inc(int(missing.sum()))
         # Answer from the full graph without re-charging.
         return self._source.neighbors_batch(nodes)
 
     def fetch_features(self, nodes: np.ndarray,
                        meter: Optional[CommMeter]) -> np.ndarray:
+        """Feature rows of ``nodes``, charged to ``meter``."""
         feats = self.graph.features[nodes]
         if meter is not None:
             meter.charge_features(nodes.shape[0], feats.shape[1])
+        if self.obs is not None:
+            self.obs.counter("store.feature_requests").inc(1)
+            self.obs.counter("store.feature_nodes").inc(int(nodes.shape[0]))
         return feats
 
 
@@ -98,6 +113,8 @@ class SparsifiedRemoteStore:
 
     weighted = True
     complete = False  # sparsified copies cannot complete local lists
+    #: Optional RunObserver; the trainer attaches one when observing.
+    obs = None
 
     def __init__(self, full_graph: Graph, sparsified: List[Graph],
                  assignment: np.ndarray) -> None:
@@ -107,6 +124,8 @@ class SparsifiedRemoteStore:
 
     def neighbors_batch(self, nodes: np.ndarray, meter: Optional[CommMeter]
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sparsified (weighted) neighbor lists of ``nodes``, answered
+        from each node's owning partition and charged to ``meter``."""
         nodes = np.asarray(nodes, dtype=np.int64)
         owners = self.assignment[nodes]
         nbr_chunks: List[np.ndarray] = []
@@ -134,11 +153,20 @@ class SparsifiedRemoteStore:
             meter.charge_structure(num_edges=total,
                                    num_queried_nodes=nodes.size,
                                    weighted=True)
+        if self.obs is not None:
+            self.obs.counter("store.structure_requests").inc(1)
+            self.obs.counter("store.structure_nodes").inc(nodes.size)
+            self.obs.counter("store.structure_edges").inc(total)
         return out_nbrs, out_w, out_offsets
 
     def fetch_features(self, nodes: np.ndarray,
                        meter: Optional[CommMeter]) -> np.ndarray:
+        """Exact feature rows of ``nodes`` (sparsification never drops
+        features), charged to ``meter``."""
         feats = self.full_graph.features[nodes]
         if meter is not None:
             meter.charge_features(nodes.shape[0], feats.shape[1])
+        if self.obs is not None:
+            self.obs.counter("store.feature_requests").inc(1)
+            self.obs.counter("store.feature_nodes").inc(int(nodes.shape[0]))
         return feats

@@ -27,14 +27,20 @@ def average_gradients(
     meters: Optional[Sequence[CommMeter]] = None,
     participating: Optional[Sequence[bool]] = None,
     topology: str = "allreduce",
+    obs=None,
 ) -> None:
     """All-reduce gradients in place (Algorithm 1 line 29).
 
     ``participating`` masks workers that produced no batch this round
     (their gradients are absent); the average runs over participants.
     After the call every model holds the same averaged gradient, so
-    identical optimizer states take identical steps.
+    identical optimizer states take identical steps.  ``obs``, when
+    given, counts the round (byte metrics mirror through the meters).
     """
+    if obs is not None:
+        obs.counter("sync.rounds").inc(1)
+        obs.counter("sync.participants").inc(
+            sum(participating) if participating is not None else len(models))
     if participating is None:
         participating = [True] * len(models)
     active = [m for m, ok in zip(models, participating) if ok]
@@ -64,11 +70,15 @@ def average_models(
     models: Sequence[LinkPredictionModel],
     meters: Optional[Sequence[CommMeter]] = None,
     topology: str = "allreduce",
+    obs=None,
 ) -> None:
     """FedAvg-style model averaging [40]: every worker's weights are
     replaced by the element-wise mean."""
     if not models:
         return
+    if obs is not None:
+        obs.counter("sync.rounds").inc(1)
+        obs.counter("sync.participants").inc(len(models))
     state_dicts = [m.state_dict() for m in models]
     averaged = {
         name: np.mean([sd[name] for sd in state_dicts], axis=0)

@@ -24,7 +24,7 @@ constants, so the model can be replayed against any measured run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from .comm import CommRecord, GB
 
@@ -35,6 +35,9 @@ class HardwareModel:
 
     Defaults approximate one V100-class device per worker with a
     10 Gb/s master link — the paper's Lambda instance ballpark.
+    Throughput and bandwidth must be strictly positive (a zero would
+    silently produce infinite epoch times); latencies may be zero but
+    not negative.
     """
 
     edges_per_second: float = 5e8      # message-flow edge throughput
@@ -42,8 +45,19 @@ class HardwareModel:
     request_latency_s: float = 200e-6  # per structure round-trip
     sync_latency_s: float = 50e-6      # per collective
 
+    def __post_init__(self) -> None:
+        if self.edges_per_second <= 0:
+            raise ValueError("edges_per_second must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if self.request_latency_s < 0:
+            raise ValueError("request_latency_s must be non-negative")
+        if self.sync_latency_s < 0:
+            raise ValueError("sync_latency_s must be non-negative")
+
     @property
     def bytes_per_second(self) -> float:
+        """Link bandwidth in bytes/second (from ``bandwidth_gbps``)."""
         return self.bandwidth_gbps * 1e9 / 8.0
 
 
@@ -57,9 +71,11 @@ class EpochTimeline:
 
     @property
     def total_s(self) -> float:
+        """Sum of all three phases."""
         return self.compute_s + self.network_s + self.sync_s
 
     def breakdown(self) -> Dict[str, float]:
+        """Phase durations plus the total, as a plain dict."""
         return {"compute_s": self.compute_s, "network_s": self.network_s,
                 "sync_s": self.sync_s, "total_s": self.total_s}
 
@@ -71,6 +87,7 @@ def estimate_epoch_time(
     rounds: int,
     hardware: Optional[HardwareModel] = None,
     structure_requests: Optional[int] = None,
+    edges_per_worker: Optional[Sequence[float]] = None,
 ) -> EpochTimeline:
     """Model one epoch's wall-clock time.
 
@@ -85,14 +102,29 @@ def estimate_epoch_time(
     structure_requests:
         Remote structure round-trips; defaults to one per round per
         worker that communicates at all.
+    edges_per_worker:
+        Per-worker message-flow edge counts.  When given (length must
+        equal ``num_workers``), the synchronous barrier makes the
+        *maximum* — the straggler — set the compute pace instead of
+        the balanced-partition mean.
     """
     hw = hardware or HardwareModel()
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
-    # Lock-step: per-round compute is set by the busiest worker; with
-    # balanced partitions we approximate by the mean plus the barrier
-    # effect folded into edges_per_second.
-    compute_s = edges_processed / max(num_workers, 1) / hw.edges_per_second
+    if edges_per_worker is not None:
+        if len(edges_per_worker) != num_workers:
+            raise ValueError(
+                f"edges_per_worker has {len(edges_per_worker)} entries "
+                f"for {num_workers} workers")
+        if any(e < 0 for e in edges_per_worker):
+            raise ValueError("edges_per_worker entries must be >= 0")
+        # Lock-step barrier: every round waits for the busiest worker,
+        # so the straggler's edge count is the one that matters.
+        compute_s = max(edges_per_worker) / hw.edges_per_second
+    else:
+        # Balanced-partition approximation: the mean, with the barrier
+        # effect folded into edges_per_second.
+        compute_s = edges_processed / max(num_workers, 1) / hw.edges_per_second
     network_bytes = comm.graph_data_bytes / max(num_workers, 1)
     if structure_requests is None:
         structure_requests = rounds if comm.graph_data_bytes else 0

@@ -20,6 +20,7 @@ weights with the best validation Hits@K are the ones tested.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -30,6 +31,7 @@ from ..graph.splits import EdgeSplit
 from ..nn.loss import bce_with_logits
 from ..nn.models import LinkPredictionModel, build_model
 from ..nn.optim import Adam
+from ..obs import LOSS_BUCKETS, RunObserver, RunReport, build_run_report
 from ..partition.partitioned import PartitionedGraph
 from ..sampling.loader import EdgeBatchLoader
 from ..sampling.negative import (
@@ -84,6 +86,12 @@ class TrainConfig:
     # epochs (1.0 disables).
     lr_decay: float = 1.0
     lr_decay_every: int = 1
+    # Observability (repro.obs): record a span trace + metrics for the
+    # run and attach the joined RunReport to TrainResult.report.  All
+    # recorded durations are synthetic (timeline cost model), so
+    # observed runs stay deterministic and observe=False runs are
+    # bit-identical to uninstrumented ones.
+    observe: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -131,6 +139,8 @@ class TrainResult:
     comm_total: CommRecord = field(default_factory=CommRecord)
     num_workers: int = 1
     dropped_contributions: int = 0
+    #: Observability artifact (None unless ``TrainConfig.observe``).
+    report: Optional[RunReport] = None
 
     @property
     def graph_data_gb_per_epoch(self) -> float:
@@ -140,6 +150,7 @@ class TrainResult:
         return self.comm_total.graph_data_bytes / epochs / GB
 
     def val_curve(self) -> List[float]:
+        """Validation Hits@K at each evaluated epoch, in order."""
         return [s.val.hits for s in self.history if s.val is not None]
 
     def summary(self) -> str:
@@ -176,10 +187,12 @@ class _Worker:
         positive_edges: np.ndarray,
         negative_candidates: np.ndarray,
         rng: np.random.Generator,
+        obs: Optional[RunObserver] = None,
     ) -> None:
         self.part = part
         self.view = view
         self.model = model
+        self.obs = obs
         self.optimizer = Adam(model.parameters(), lr=config.lr)
         self.sampler = NeighborSampler(config.fanouts, rng=rng)
         full_graph = view.partitioned.full
@@ -196,9 +209,22 @@ class _Worker:
         self.loader = EdgeBatchLoader(positive_edges, config.batch_size,
                                       rng=rng)
         self.rng = rng
+        if obs is not None:
+            self.negative_sampler.obs = obs
 
     def train_batch(self, batch: np.ndarray) -> tuple:
         """Returns ``(loss_value, mfg_edges)`` for the batch."""
+        obs = self.obs
+        if obs is None:
+            return self._run_batch(batch, None)
+        with obs.span("batch", worker=self.part,
+                      batch_size=int(batch.shape[0])):
+            return self._run_batch(batch, obs)
+
+    def _run_batch(self, batch: np.ndarray,
+                   obs: Optional[RunObserver]) -> tuple:
+        """One mini-batch; when observing, the sample/fetch/compute
+        phases become child spans with timeline-model durations."""
         if self._in_batch:
             neg = self.negative_sampler.sample(batch)
         else:
@@ -207,16 +233,51 @@ class _Worker:
         labels = np.concatenate([np.ones(batch.shape[0]),
                                  np.zeros(neg.shape[0])])
         seeds, inverse = np.unique(pairs.ravel(), return_inverse=True)
-        comp_graph = self.sampler.sample(self.view, seeds)
-        features = self.view.fetch_features(comp_graph.input_nodes)
+        if obs is None:
+            comp_graph = self.sampler.sample(self.view, seeds)
+            features = self.view.fetch_features(comp_graph.input_nodes)
+        else:
+            meter = self.view.meter
+            before = meter.current.structure_bytes if meter else 0
+            with obs.span("sample", worker=self.part) as sp:
+                comp_graph = self.sampler.sample(self.view, seeds)
+                moved = (meter.current.structure_bytes - before
+                         if meter else 0)
+                seconds = obs.transfer_seconds(
+                    moved, requests=1 if moved else 0)
+                obs.advance(seconds)
+                sp.attrs["structure_bytes"] = moved
+            obs.counter("time.sample_s").inc(seconds)
+            before = meter.current.feature_bytes if meter else 0
+            with obs.span("fetch", worker=self.part) as sp:
+                features = self.view.fetch_features(comp_graph.input_nodes)
+                moved = (meter.current.feature_bytes - before
+                         if meter else 0)
+                seconds = obs.transfer_seconds(moved)
+                obs.advance(seconds)
+                sp.attrs["feature_bytes"] = moved
+            obs.counter("time.fetch_s").inc(seconds)
         pair_idx = inverse.reshape(-1, 2)
-        scores = self.model(comp_graph, features,
-                            pair_idx[:, 0], pair_idx[:, 1])
-        loss = bce_with_logits(scores, labels)
-        self.optimizer.zero_grad()
-        loss.backward()
         mfg_edges = sum(b.num_edges for b in comp_graph.blocks)
-        return loss.item(), mfg_edges
+        compute_cm = (obs.span("compute", worker=self.part,
+                               mfg_edges=mfg_edges)
+                      if obs is not None else nullcontext())
+        with compute_cm:
+            scores = self.model(comp_graph, features,
+                                pair_idx[:, 0], pair_idx[:, 1])
+            loss = bce_with_logits(scores, labels)
+            self.optimizer.zero_grad()
+            loss.backward()
+            if obs is not None:
+                seconds = obs.compute_seconds(mfg_edges)
+                obs.advance(seconds)
+        loss_value = loss.item()
+        if obs is not None:
+            obs.counter("time.compute_s").inc(seconds)
+            obs.counter("train.batches").inc(1)
+            obs.counter("train.mfg_edges").inc(mfg_edges)
+            obs.histogram("train.loss", LOSS_BUCKETS).observe(loss_value)
+        return loss_value, mfg_edges
 
 
 class DistributedTrainer:
@@ -240,6 +301,7 @@ class DistributedTrainer:
         global_negatives: bool = False,
         correction_hook=None,
         positive_mode: str = "local",
+        observer: Optional[RunObserver] = None,
     ) -> None:
         if positive_mode not in ("local", "owned_cover"):
             raise ValueError(
@@ -252,7 +314,18 @@ class DistributedTrainer:
         self.remote_store = remote_store
         self.correction_hook = correction_hook
         self.positive_mode = positive_mode
+        if observer is None and config.observe:
+            observer = RunObserver()
+        self.observer = observer
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
+        if observer is not None:
+            for meter in self.meters:
+                meter.obs = observer
+            if remote_store is not None:
+                # An AuditedStore sanitizer proxies reads but not
+                # attribute writes; instrument the store it wraps.
+                inner = getattr(remote_store, "_store", remote_store)
+                inner.obs = observer
         self.evaluator = Evaluator(
             split, config.fanouts, k=config.hits_k,
             rng=np.random.default_rng(config.seed + 7919))
@@ -270,7 +343,8 @@ class DistributedTrainer:
             view = WorkerGraphView(
                 partitioned, part, remote=remote_store,
                 meter=self.meters[part],
-                cache_remote_features=config.cache_remote_features)
+                cache_remote_features=config.cache_remote_features,
+                obs=observer)
             model = build_model(
                 config.gnn_type, feature_dim, config.hidden_dim,
                 num_layers=config.num_layers, predictor=config.predictor,
@@ -284,7 +358,8 @@ class DistributedTrainer:
             worker_rng = np.random.default_rng(
                 master_rng.integers(0, 2**63 - 1))
             self.workers.append(_Worker(
-                part, view, model, config, positives, candidates, worker_rng))
+                part, view, model, config, positives, candidates, worker_rng,
+                obs=observer))
         broadcast_model(reference, [w.model for w in self.workers])
 
     # ------------------------------------------------------------------
@@ -320,7 +395,15 @@ class DistributedTrainer:
     # ------------------------------------------------------------------
 
     def train(self) -> TrainResult:
+        """Run Algorithm 1 to completion and return the result.
+
+        When an observer is attached, every epoch/round/batch/sync
+        phase is traced on the simulated clock and the joined
+        :class:`~repro.obs.report.RunReport` lands on
+        ``TrainResult.report``.
+        """
         config = self.config
+        obs = self.observer
         models = [w.model for w in self.workers]
         history: List[EpochStats] = []
         best_val = -1.0
@@ -331,91 +414,127 @@ class DistributedTrainer:
         evals_since_best = 0
 
         for epoch in range(config.epochs):
-            if config.cache_remote_features:
-                for worker in self.workers:
-                    worker.view.clear_feature_cache()
-            iterators = [iter(w.loader) for w in self.workers]
-            exhausted = [False] * len(self.workers)
-            losses: List[float] = []
-            batches_since_sync = 0
-            epoch_rounds = 0
-            epoch_mfg_edges = 0
-            while not all(exhausted):
-                participating = []
-                for i, (worker, it) in enumerate(zip(self.workers, iterators)):
-                    if exhausted[i]:
-                        participating.append(False)
-                        continue
-                    batch = next(it, None)
-                    if batch is None:
-                        exhausted[i] = True
-                        participating.append(False)
-                        continue
-                    if (config.worker_failure_prob
-                            and failure_rng.random()
-                            < config.worker_failure_prob):
-                        # The worker crashed this round: its batch is
-                        # consumed but its gradient never reaches the
-                        # synchronization step.
-                        dropped_contributions += 1
-                        participating.append(False)
-                        continue
-                    loss_value, batch_edges = worker.train_batch(batch)
-                    losses.append(loss_value)
-                    epoch_mfg_edges += batch_edges
-                    participating.append(True)
-                epoch_rounds += 1
-                if not any(participating):
-                    # Nothing reached the synchronizer this round
-                    # (exhausted loaders and/or injected failures).
-                    continue
-                if config.sync == "grad":
-                    average_gradients(models, self.meters, participating,
+            epoch_cm = (obs.span("epoch", epoch=epoch)
+                        if obs is not None else nullcontext())
+            epoch_started = obs.tracer.now_s if obs is not None else 0.0
+            with epoch_cm:
+                if config.cache_remote_features:
+                    for worker in self.workers:
+                        worker.view.clear_feature_cache()
+                iterators = [iter(w.loader) for w in self.workers]
+                exhausted = [False] * len(self.workers)
+                losses: List[float] = []
+                batches_since_sync = 0
+                epoch_rounds = 0
+                epoch_mfg_edges = 0
+                while not all(exhausted):
+                    round_cm = (obs.span("round", index=epoch_rounds)
+                                if obs is not None else nullcontext())
+                    with round_cm:
+                        participating = []
+                        for i, (worker, it) in enumerate(
+                                zip(self.workers, iterators)):
+                            if exhausted[i]:
+                                participating.append(False)
+                                continue
+                            batch = next(it, None)
+                            if batch is None:
+                                exhausted[i] = True
+                                participating.append(False)
+                                continue
+                            if (config.worker_failure_prob
+                                    and failure_rng.random()
+                                    < config.worker_failure_prob):
+                                # The worker crashed this round: its
+                                # batch is consumed but its gradient
+                                # never reaches the synchronization
+                                # step.
+                                dropped_contributions += 1
+                                if obs is not None:
+                                    obs.counter(
+                                        "train.dropped_contributions"
+                                    ).inc(1)
+                                participating.append(False)
+                                continue
+                            loss_value, batch_edges = worker.train_batch(
+                                batch)
+                            losses.append(loss_value)
+                            epoch_mfg_edges += batch_edges
+                            participating.append(True)
+                        epoch_rounds += 1
+                        if obs is not None:
+                            obs.counter("train.rounds").inc(1)
+                        if not any(participating):
+                            # Nothing reached the synchronizer this
+                            # round (exhausted loaders and/or injected
+                            # failures).
+                            continue
+                        if config.sync == "grad":
+                            self._synchronize(
+                                average_gradients, models, self.meters,
+                                participating, mode="grad",
+                                topology=config.sync_topology)
+                            for worker, ok in zip(self.workers,
+                                                  participating):
+                                worker.optimizer.step()
+                        else:
+                            for worker, ok in zip(self.workers,
+                                                  participating):
+                                if ok:
+                                    worker.optimizer.step()
+                            batches_since_sync += 1
+                            if (config.sync_every_batches
+                                    and batches_since_sync
+                                    >= config.sync_every_batches):
+                                self._synchronize(
+                                    average_models, models, self.meters,
+                                    mode="model",
+                                    topology=config.sync_topology)
+                                batches_since_sync = 0
+                                self._run_correction()
+                if config.sync == "model" and (
+                        not config.sync_every_batches or batches_since_sync):
+                    self._synchronize(average_models, models, self.meters,
+                                      mode="model",
                                       topology=config.sync_topology)
-                    for worker, ok in zip(self.workers, participating):
-                        worker.optimizer.step()
-                else:
-                    for worker, ok in zip(self.workers, participating):
-                        if ok:
-                            worker.optimizer.step()
-                    batches_since_sync += 1
-                    if (config.sync_every_batches
-                            and batches_since_sync >= config.sync_every_batches):
-                        average_models(models, self.meters,
-                                       topology=config.sync_topology)
-                        batches_since_sync = 0
-                        self._run_correction()
-            if config.sync == "model" and (
-                    not config.sync_every_batches or batches_since_sync):
-                average_models(models, self.meters,
-                               topology=config.sync_topology)
-                self._run_correction()
-            elif config.sync == "grad":
-                # Under per-round gradient averaging the replicas are
-                # already synchronized; the server-side correction
-                # (LLCG) runs once per epoch, the same cadence as the
-                # default model-averaging round.
-                self._run_correction()
+                    self._run_correction()
+                elif config.sync == "grad":
+                    # Under per-round gradient averaging the replicas
+                    # are already synchronized; the server-side
+                    # correction (LLCG) runs once per epoch, the same
+                    # cadence as the default model-averaging round.
+                    self._run_correction()
 
-            comm = CommRecord()
-            for meter in self.meters:
-                comm += meter.end_epoch()
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
+                comm = CommRecord()
+                for meter in self.meters:
+                    comm += meter.end_epoch()
+                mean_loss = float(np.mean(losses)) if losses else float("nan")
 
-            val = None
-            if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
-                val = self.evaluator.validate(models[0])
-                if val.hits > best_val:
-                    best_val = val.hits
-                    best_state = models[0].state_dict()
-                    best_epoch = epoch
-                    evals_since_best = 0
-                else:
-                    evals_since_best += 1
-            history.append(EpochStats(epoch=epoch, mean_loss=mean_loss,
-                                      comm=comm, val=val,
-                                      rounds=epoch_rounds,
-                                      mfg_edges=epoch_mfg_edges))
+                val = None
+                if ((epoch + 1) % config.eval_every == 0
+                        or epoch == config.epochs - 1):
+                    val_cm = (obs.span("validate", epoch=epoch)
+                              if obs is not None else nullcontext())
+                    with val_cm:
+                        val = self.evaluator.validate(models[0])
+                    if obs is not None:
+                        obs.counter("train.evals").inc(1)
+                        obs.gauge("train.val_hits").set(float(val.hits))
+                    if val.hits > best_val:
+                        best_val = val.hits
+                        best_state = models[0].state_dict()
+                        best_epoch = epoch
+                        evals_since_best = 0
+                    else:
+                        evals_since_best += 1
+                history.append(EpochStats(epoch=epoch, mean_loss=mean_loss,
+                                          comm=comm, val=val,
+                                          rounds=epoch_rounds,
+                                          mfg_edges=epoch_mfg_edges))
+            if obs is not None:
+                obs.counter("train.epochs").inc(1)
+                obs.histogram("epoch.duration_s").observe(
+                    obs.tracer.now_s - epoch_started)
 
             if (config.patience and val is not None
                     and evals_since_best >= config.patience):
@@ -427,12 +546,14 @@ class DistributedTrainer:
 
         if best_state is not None:
             models[0].load_state_dict(best_state)
-        test = self.evaluator.test(models[0])
+        test_cm = obs.span("test") if obs is not None else nullcontext()
+        with test_cm:
+            test = self.evaluator.test(models[0])
 
         total = CommRecord()
         for stats in history:
             total += stats.comm
-        return TrainResult(
+        result = TrainResult(
             framework=self.framework,
             test=test,
             best_epoch=best_epoch,
@@ -441,6 +562,27 @@ class DistributedTrainer:
             num_workers=len(self.workers),
             dropped_contributions=dropped_contributions,
         )
+        if obs is not None:
+            result.report = build_run_report(obs, result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _synchronize(self, sync_fn, *args, mode: str, **kwargs) -> None:
+        """Run a sync collective, traced as one ``sync`` span whose
+        duration is the per-worker payload over the modeled link."""
+        obs = self.observer
+        if obs is None:
+            sync_fn(*args, **kwargs)
+            return
+        before = self.meters[0].current.sync_bytes
+        with obs.span("sync", mode=mode) as sp:
+            sync_fn(*args, obs=obs, **kwargs)
+            moved = self.meters[0].current.sync_bytes - before
+            seconds = obs.sync_seconds(moved)
+            obs.advance(seconds)
+            sp.attrs["sync_bytes"] = moved
+        obs.counter("time.sync_s").inc(seconds)
 
     # ------------------------------------------------------------------
 

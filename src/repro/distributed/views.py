@@ -41,11 +41,14 @@ class WorkerGraphView:
         remote=None,
         meter: Optional[CommMeter] = None,
         cache_remote_features: bool = False,
+        obs=None,
     ) -> None:
         self.partitioned = partitioned
         self.part = part
         self.remote = remote
         self.meter = meter
+        # Optional RunObserver: reports fetch volumes and cache hits.
+        self.obs = obs
         self._local_graph = partitioned.local_graph(part)
         # Worker-local partition structure — free to read by definition.
         self._local = GraphNeighborSource(self._local_graph)  # lint: disable=R002
@@ -59,12 +62,15 @@ class WorkerGraphView:
 
     @property
     def num_nodes(self) -> int:
+        """Number of nodes in the full (global) graph."""
         return self.partitioned.full.num_nodes
 
     # -- structure ---------------------------------------------------------
 
     def neighbors_batch(self, nodes: np.ndarray
                         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Neighbor lists of ``nodes``: local partition edges for free,
+        remote answers through the charged store path."""
         nodes = np.asarray(nodes, dtype=np.int64)
         if self.remote is not None and getattr(self.remote, "complete",
                                                False):
@@ -130,6 +136,7 @@ class WorkerGraphView:
         nodes = np.asarray(nodes, dtype=np.int64)
         local = self.partitioned.has_feature_locally(self.part, nodes)
         remote_pos = np.flatnonzero(~local)
+        requested_remote = int(remote_pos.size)
         if self.cache_remote_features and remote_pos.size:
             keep = np.fromiter(
                 (int(n) not in self._feature_cache
@@ -137,6 +144,11 @@ class WorkerGraphView:
                 dtype=bool, count=remote_pos.size)
             remote_pos = remote_pos[keep]
             self._feature_cache.update(int(n) for n in nodes[remote_pos])
+        if self.obs is not None:
+            self.obs.counter("fetch.nodes_total").inc(int(nodes.size))
+            self.obs.counter("fetch.nodes_remote").inc(int(remote_pos.size))
+            self.obs.counter("fetch.cache_hits").inc(
+                requested_remote - int(remote_pos.size))
         # Local (and cache-hit) rows are served from worker storage.
         result = self.partitioned.local_feature_rows(nodes)
         if self.remote is None:

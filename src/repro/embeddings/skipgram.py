@@ -38,6 +38,7 @@ class SkipGramEmbedding:
 
     @property
     def dim(self) -> int:
+        """Embedding dimensionality."""
         return self.vectors.shape[1]
 
     def score_pairs(self, pairs: np.ndarray) -> np.ndarray:

@@ -96,7 +96,9 @@ class Evaluator:
         )
 
     def validate(self, model: LinkPredictionModel) -> EvalResult:
+        """Hits@K and AUC on the validation split."""
         return self._evaluate(model, self.split.val_pos, self.split.val_neg)
 
     def test(self, model: LinkPredictionModel) -> EvalResult:
+        """Hits@K and AUC on the held-out test split."""
         return self._evaluate(model, self.split.test_pos, self.split.test_neg)

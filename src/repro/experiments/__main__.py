@@ -125,6 +125,7 @@ def _make_scale(name: str) -> ExperimentScale:
 
 
 def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a table/figure of the SpLPG paper.")

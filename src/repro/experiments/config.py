@@ -45,6 +45,7 @@ class ExperimentScale:
 
     @classmethod
     def quick(cls) -> "ExperimentScale":
+        """Small-scale preset used by tests and smoke runs."""
         return cls()
 
     @classmethod
@@ -56,17 +57,20 @@ class ExperimentScale:
 
     @classmethod
     def paper(cls) -> "ExperimentScale":
+        """Full-scale preset approximating the paper's settings."""
         return cls(dataset_scale=1.0, feature_dim=None, hidden_dim=256,
                    num_layers=3, fanouts=(25, 10, 5), batch_size=256,
                    epochs=500, hits_k=100, eval_every=10, num_seeds=1)
 
     @property
     def seeds(self) -> Tuple[int, ...]:
+        """Random seeds for repeated runs at this scale."""
         return tuple(range(self.seed, self.seed + self.num_seeds))
 
     # ------------------------------------------------------------------
 
     def train_config(self, **overrides) -> TrainConfig:
+        """Build a :class:`TrainConfig` at this scale, with overrides."""
         base = dict(
             gnn_type="sage",
             hidden_dim=self.hidden_dim,
@@ -83,10 +87,12 @@ class ExperimentScale:
         return TrainConfig(**base)
 
     def load(self, dataset: str) -> Graph:
+        """Load ``dataset`` at this scale's size and feature dim."""
         return load_dataset(dataset, scale=self.dataset_scale,
                             feature_dim=self.feature_dim)
 
     def load_split(self, dataset: str) -> EdgeSplit:
+        """Load ``dataset`` and split its edges, seeded by the scale."""
         graph = self.load(dataset)
         return split_edges(graph, rng=np.random.default_rng(self.seed + 101))
 

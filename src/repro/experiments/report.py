@@ -99,6 +99,10 @@ def save_report(report: Dict[str, dict], path: str) -> None:
 
 
 def _jsonify(value):
+    """Fallback serializer for :func:`save_report` payload values."""
+    from ..obs import RunReport
+    if isinstance(value, RunReport):
+        return value.to_dict()
     try:
         import numpy as np
         if isinstance(value, (np.integer,)):

@@ -35,6 +35,7 @@ class GraphStats:
     global_clustering: float
 
     def as_dict(self) -> Dict[str, float]:
+        """All statistics as one plain serializable dict."""
         return {
             "num_nodes": self.num_nodes,
             "num_edges": self.num_edges,

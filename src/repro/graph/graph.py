@@ -175,6 +175,7 @@ class Graph:
         return np.diff(self.indptr)
 
     def degree(self, node: int) -> int:
+        """Degree of a single node."""
         return int(self.indptr[node + 1] - self.indptr[node])
 
     def neighbors(self, node: int) -> np.ndarray:
@@ -188,6 +189,7 @@ class Graph:
         return self.weights[self.indptr[node]:self.indptr[node + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists."""
         nbrs = self.neighbors(u)
         # neighbor lists are small in sparse graphs; linear scan is fine
         # and avoids requiring sorted indices.
@@ -311,6 +313,7 @@ class Graph:
         return int(n) * int(self.features.shape[1]) * self.features.itemsize
 
     def total_nbytes(self) -> int:
+        """Structure plus feature storage, in bytes."""
         return self.structure_nbytes() + self.feature_nbytes()
 
     # ------------------------------------------------------------------

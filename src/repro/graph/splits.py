@@ -44,6 +44,7 @@ class EdgeSplit:
 
     @property
     def num_nodes(self) -> int:
+        """Nodes in the underlying graph."""
         return self.train_graph.num_nodes
 
 

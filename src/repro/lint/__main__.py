@@ -17,6 +17,7 @@ from .reporters import render_json, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro.lint`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=("Invariant checker for the repro codebase: "
@@ -34,6 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit code 1 when findings remain."""
     args = build_parser().parse_args(argv)
 
     if args.list_rules:

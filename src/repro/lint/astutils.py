@@ -19,6 +19,7 @@ def dotted_name(node: ast.AST) -> Optional[str]:
 
 
 def is_numpy_alias(name: str) -> bool:
+    """True when ``name`` is a conventional numpy alias (``np``/``numpy``)."""
     return name in ("np", "numpy")
 
 

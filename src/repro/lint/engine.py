@@ -37,6 +37,7 @@ class Finding:
     message: str
 
     def to_dict(self) -> Dict[str, object]:
+        """Serializable form used by the JSON reporter."""
         return {
             "rule": self.rule_id,
             "path": self.path,
@@ -93,6 +94,7 @@ class LintEngine:
     rules: Sequence[Rule] = field(default_factory=all_rules)
 
     def select(self, rule_ids: Iterable[str]) -> "LintEngine":
+        """A new engine restricted to the given rule ids."""
         wanted = {rid.upper() for rid in rule_ids}
         unknown = wanted - {r.rule_id for r in self.rules}
         if unknown:
@@ -103,6 +105,7 @@ class LintEngine:
     # -- entry points ---------------------------------------------------
 
     def check_source(self, source: str, modpath: str) -> List[Finding]:
+        """Lint one module's source; returns sorted, unsuppressed findings."""
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
@@ -125,10 +128,12 @@ class LintEngine:
         return kept
 
     def check_file(self, path: Path) -> List[Finding]:
+        """Lint a single file from disk."""
         source = path.read_text(encoding="utf-8")
         return self.check_source(source, _module_path(path))
 
     def check_paths(self, paths: Sequence[Path]) -> List[Finding]:
+        """Lint files and directory trees (recursively)."""
         findings: List[Finding] = []
         for path in paths:
             for file in sorted(_iter_python_files(path)):

@@ -31,6 +31,7 @@ def all_rules() -> List["Rule"]:
 
 
 def get_rule(rule_id: str) -> "Rule":
+    """Fresh instance of one registered rule, by id."""
     _load_builtin_rules()
     try:
         return _REGISTRY[rule_id]()
@@ -45,6 +46,7 @@ def _load_builtin_rules() -> None:
     from . import (  # noqa: F401
         rules_autograd,
         rules_determinism,
+        rules_docs,
         rules_hygiene,
         rules_locality,
     )
@@ -64,7 +66,9 @@ class Rule:
     description: str = ""
 
     def applies_to(self, modpath: str) -> bool:
+        """Whether this rule runs on the module at ``modpath``."""
         return True
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         raise NotImplementedError

@@ -26,6 +26,7 @@ def render_text(findings: Sequence[Finding]) -> str:
 
 
 def render_json(findings: Sequence[Finding]) -> str:
+    """Render findings as a JSON array string."""
     counts = Counter(f.rule_id for f in findings)
     payload = {
         "tool": "repro.lint",

@@ -60,6 +60,7 @@ class InplaceTensorMutationRule(Rule):
     description = "in-place write to a Tensor.data array"
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         from .engine import Finding
 
         findings: List[Finding] = []

@@ -37,6 +37,7 @@ class UnseededRngRule(Rule):
                  "SeedSequence"}
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         from .engine import Finding
 
         findings: List[Finding] = []
@@ -89,6 +90,7 @@ class WallClockRule(Rule):
     }
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         from .engine import Finding
 
         findings: List[Finding] = []
@@ -117,6 +119,7 @@ class StdlibRandomRule(Rule):
     description = "import or use of the stdlib random module"
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         from .engine import Finding
 
         findings: List[Finding] = []

@@ -29,6 +29,7 @@ class MutableDefaultArgRule(Rule):
     description = "mutable default argument value"
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         from .engine import Finding
 
         findings: List[Finding] = []

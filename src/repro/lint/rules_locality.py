@@ -41,10 +41,12 @@ class RawGraphAccessRule(Rule):
     _ADJACENCY_ATTRS = {"indptr", "indices"}
 
     def applies_to(self, modpath: str) -> bool:
+        """Scope the rule to the sampling/distributed modules."""
         return (modpath.startswith(self._SCOPES)
                 and modpath not in self._EXEMPT)
 
     def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
         from .engine import Finding
 
         findings: List[Finding] = []

@@ -37,11 +37,13 @@ class ArrayFreezer:
     def freeze(self, array: np.ndarray) -> None:
         # Views of already-frozen bases report non-writeable and are
         # skipped; only arrays this freezer actually flipped are thawed.
+        """Make ``array`` read-only and remember it for :meth:`thaw_all`."""
         if array.flags.writeable:
             array.flags.writeable = False
             self._frozen.append(array)
 
     def thaw_all(self) -> None:
+        """Restore writeability of every frozen array."""
         for array in self._frozen:
             try:
                 array.flags.writeable = True
@@ -51,6 +53,7 @@ class ArrayFreezer:
 
     @property
     def num_frozen(self) -> int:
+        """Number of arrays currently frozen."""
         return len(self._frozen)
 
 
@@ -114,6 +117,7 @@ class AuditedStore:
 
     def neighbors_batch(self, nodes: np.ndarray,
                         meter: Optional[CommMeter]):
+        """Proxy the store's answer, cross-checking the charged bytes."""
         nodes = np.asarray(nodes, dtype=np.int64)
         before = _charged(meter)
         nbrs, weights, offsets = self._store.neighbors_batch(nodes, meter)
@@ -129,6 +133,7 @@ class AuditedStore:
     def complete_neighbors_batch(self, nodes: np.ndarray,
                                  local_counts: np.ndarray,
                                  meter: Optional[CommMeter]):
+        """Proxy the delta-charged complete answer, cross-checked."""
         nodes = np.asarray(nodes, dtype=np.int64)
         local_counts = np.asarray(local_counts, dtype=np.int64)
         before = _charged(meter)
@@ -149,6 +154,7 @@ class AuditedStore:
 
     def fetch_features(self, nodes: np.ndarray,
                        meter: Optional[CommMeter]) -> np.ndarray:
+        """Proxy a feature fetch, cross-checking the charged bytes."""
         nodes = np.asarray(nodes, dtype=np.int64)
         before = _charged(meter)
         feats = self._store.fetch_features(nodes, meter)

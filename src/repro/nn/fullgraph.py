@@ -55,6 +55,7 @@ class FullGraphGCN(Module):
                        for i in range(num_layers)]
 
     def forward(self, prop: sp.csr_matrix, features: np.ndarray) -> Tensor:
+        """Propagate ``features`` through every GCN layer at once."""
         h = Tensor(features)
         for i, layer in enumerate(self.layers):
             h = layer(sparse_matmul(prop, h))
@@ -75,6 +76,7 @@ class FullBatchLinkPredictor(Module):
 
     def forward(self, prop: sp.csr_matrix, features: np.ndarray,
                 pairs: np.ndarray) -> Tensor:
+        """Scores (logits) for ``pairs`` from full-graph embeddings."""
         h = self.encoder(prop, features)
         h_u = gather(h, pairs[:, 0])
         h_v = gather(h, pairs[:, 1])

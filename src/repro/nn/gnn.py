@@ -48,6 +48,7 @@ class GCNConv(Module):
         self.linear = Linear(in_dim, out_dim, rng=rng)
 
     def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        """One message-passing step over ``block``."""
         messages = gather(h_src, block.edge_src) * Tensor(
             block.edge_weight[:, None])
         agg = segment_sum(messages, block.edge_dst, block.num_dst)
@@ -71,6 +72,7 @@ class SAGEConv(Module):
         self.fc_neigh = Linear(in_dim, out_dim, bias=False, rng=rng)
 
     def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        """One message-passing step over ``block``."""
         messages = gather(h_src, block.edge_src) * Tensor(
             block.edge_weight[:, None])
         summed = segment_sum(messages, block.edge_dst, block.num_dst)
@@ -120,6 +122,7 @@ class GATConv(Module):
         return segment_sum(messages, block.edge_dst, block.num_dst)
 
     def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        """One message-passing step over ``block``."""
         heads = [self._head(i, block, h_src) for i in range(self.num_heads)]
         return heads[0] if len(heads) == 1 else concat(heads, axis=1)
 
@@ -161,6 +164,7 @@ class GATv2Conv(Module):
         return segment_sum(messages, block.edge_dst, block.num_dst)
 
     def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        """One message-passing step over ``block``."""
         heads = [self._head(i, block, h_src) for i in range(self.num_heads)]
         return heads[0] if len(heads) == 1 else concat(heads, axis=1)
 
@@ -183,6 +187,7 @@ class GINConv(Module):
         self.fc2 = Linear(out_dim, out_dim, rng=rng)
 
     def forward(self, block: Block, h_src: Tensor) -> Tensor:
+        """One message-passing step over ``block``."""
         from .tensor import relu as _relu
         messages = gather(h_src, block.edge_src) * Tensor(
             block.edge_weight[:, None])

@@ -74,10 +74,12 @@ class GNNModel(Module):
 
     @property
     def num_layers(self) -> int:
+        """Number of GNN layers (= required sampling depth)."""
         return len(self.convs)
 
     def forward(self, comp_graph: ComputationGraph,
                 features: np.ndarray | Tensor) -> Tensor:
+        """Embeddings of the computation graph's destination nodes."""
         if len(comp_graph.blocks) != self.num_layers:
             raise ValueError(
                 f"computational graph has {len(comp_graph.blocks)} blocks "
@@ -98,6 +100,7 @@ class DotPredictor(Module):
     """Dot-product edge scorer: ``s_uv = <h_u, h_v>``."""
 
     def forward(self, h_u: Tensor, h_v: Tensor) -> Tensor:
+        """Edge scores as dot products of endpoint embeddings."""
         return (h_u * h_v).sum(axis=1)
 
 
@@ -117,6 +120,7 @@ class MLPPredictor(Module):
         self.mlp = MLP(dims, rng=rng)
 
     def forward(self, h_u: Tensor, h_v: Tensor) -> Tensor:
+        """Edge scores from an MLP over concatenated endpoints."""
         out = self.mlp(h_u * h_v)
         return out.reshape(-1)
 
@@ -136,6 +140,7 @@ class LinkPredictionModel(Module):
 
     def embed(self, comp_graph: ComputationGraph,
               features: np.ndarray) -> Tensor:
+        """Destination-node embeddings for a sampled computation graph."""
         return self.encoder(comp_graph, features)
 
     def score_pairs(self, embeddings: Tensor, pair_u: np.ndarray,
@@ -147,6 +152,7 @@ class LinkPredictionModel(Module):
 
     def forward(self, comp_graph: ComputationGraph, features: np.ndarray,
                 pair_u: np.ndarray, pair_v: np.ndarray) -> Tensor:
+        """Scores for pairs ``(pair_u[i], pair_v[i])``."""
         return self.score_pairs(self.embed(comp_graph, features),
                                 pair_u, pair_v)
 

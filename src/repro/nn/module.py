@@ -36,6 +36,7 @@ class Module:
     # -- traversal -------------------------------------------------------
 
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over this module tree."""
         for name, value in vars(self).items():
             full = f"{prefix}{name}"
             if isinstance(value, Parameter):
@@ -50,9 +51,11 @@ class Module:
                         yield f"{full}.{i}", item
 
     def parameters(self) -> List[Parameter]:
+        """Every parameter of this module tree, in traversal order."""
         return [p for _, p in self.named_parameters()]
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
         yield self
         for value in vars(self).values():
             if isinstance(value, Module):
@@ -65,16 +68,19 @@ class Module:
     # -- mode / gradients -------------------------------------------------
 
     def train(self) -> "Module":
+        """Switch the module tree to training mode."""
         for m in self.modules():
             m.training = True
         return self
 
     def eval(self) -> "Module":
+        """Switch the module tree to inference mode."""
         for m in self.modules():
             m.training = False
         return self
 
     def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
         for p in self.parameters():
             p.zero_grad()
 
@@ -85,6 +91,7 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Copy arrays from ``state`` into the matching parameters."""
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -100,6 +107,7 @@ class Module:
             p.data = state[name].astype(np.float64).copy()
 
     def num_parameters(self) -> int:
+        """Total scalar parameter count."""
         return sum(p.data.size for p in self.parameters())
 
     def parameter_nbytes(self, itemsize: int = 4) -> int:
@@ -110,6 +118,7 @@ class Module:
     # -- calling ------------------------------------------------------------
 
     def forward(self, *args, **kwargs):
+        """Compute the module's output (subclass hook)."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -139,6 +148,7 @@ class Linear(Module):
         self.bias = Parameter(np.zeros(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        """Affine transform ``x @ W + b``."""
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -155,6 +165,7 @@ class Dropout(Module):
         self.rng = ensure_rng(rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        """Randomly zero entries of ``x`` in training mode."""
         return dropout(x, self.p, self.training, self.rng)
 
 
@@ -173,6 +184,7 @@ class MLP(Module):
         self.dropout = Dropout(dropout_p, rng=rng) if dropout_p > 0 else None
 
     def forward(self, x: Tensor) -> Tensor:
+        """Apply the layers with ReLU (and dropout) between them."""
         for i, layer in enumerate(self.layers):
             x = layer(x)
             if i < len(self.layers) - 1:

@@ -23,10 +23,12 @@ class Optimizer:
             raise ValueError("optimizer needs at least one parameter")
 
     def zero_grad(self) -> None:
+        """Clear the gradient of every tracked parameter."""
         for p in self.params:
             p.zero_grad()
 
     def step(self) -> None:
+        """Apply one update step (subclass hook)."""
         raise NotImplementedError
 
 
@@ -44,6 +46,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        """One SGD step (momentum/weight decay when configured)."""
         for p, vel in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -78,6 +81,7 @@ class Adam(Optimizer):
         self._v = [np.zeros_like(p.data) for p in self.params]
 
     def step(self) -> None:
+        """One Adam step with bias correction."""
         self._step_count += 1
         t = self._step_count
         bias1 = 1.0 - self.beta1 ** t

@@ -111,22 +111,28 @@ class Tensor:
 
     @property
     def shape(self) -> Tuple[int, ...]:
+        """Array shape."""
         return self.data.shape
 
     @property
     def ndim(self) -> int:
+        """Number of dimensions."""
         return self.data.ndim
 
     def item(self) -> float:
+        """The single scalar value of a 0-d/1-element tensor."""
         return float(self.data)
 
     def numpy(self) -> Array:
+        """The underlying ndarray (no copy)."""
         return self.data
 
     def detach(self) -> "Tensor":
+        """A tensor sharing this data but cut off from the tape."""
         return Tensor(self.data.copy())
 
     def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
         self.grad = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -203,6 +209,7 @@ class Tensor:
     # -- shape ops -------------------------------------------------------
 
     def reshape(self, *shape: int) -> "Tensor":
+        """Reshaped tensor (differentiable)."""
         original = self.data.shape
         data = self.data.reshape(*shape)
 
@@ -213,6 +220,7 @@ class Tensor:
 
     @property
     def T(self) -> "Tensor":
+        """Matrix transpose (differentiable)."""
         data = self.data.T
 
         def backward(grad: Array) -> None:
@@ -222,6 +230,7 @@ class Tensor:
 
     def sum(self, axis: Optional[int] = None,
             keepdims: bool = False) -> "Tensor":
+        """Sum reduction (differentiable)."""
         data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: Array) -> None:
@@ -234,6 +243,7 @@ class Tensor:
 
     def mean(self, axis: Optional[int] = None,
              keepdims: bool = False) -> "Tensor":
+        """Mean reduction (differentiable)."""
         count = (self.data.size if axis is None
                  else self.data.shape[axis])
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
@@ -288,6 +298,7 @@ class Tensor:
 
 
 def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
     mask = x.data > 0
     data = np.where(mask, x.data, 0.0)
 
@@ -298,6 +309,7 @@ def relu(x: Tensor) -> Tensor:
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """Leaky ReLU with the given negative-side slope."""
     mask = x.data > 0
     data = np.where(mask, x.data, negative_slope * x.data)
 
@@ -308,6 +320,7 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
 
 
 def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
     mask = x.data > 0
     exp_term = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
     data = np.where(mask, x.data, exp_term)
@@ -319,6 +332,7 @@ def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
 
 
 def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
     out = 1.0 / (1.0 + np.exp(-x.data))
 
     def backward(grad: Array) -> None:
@@ -328,6 +342,7 @@ def sigmoid(x: Tensor) -> Tensor:
 
 
 def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
     out = np.tanh(x.data)
 
     def backward(grad: Array) -> None:
@@ -337,6 +352,7 @@ def tanh(x: Tensor) -> Tensor:
 
 
 def exp(x: Tensor) -> Tensor:
+    """Element-wise exponential."""
     out = np.exp(x.data)
 
     def backward(grad: Array) -> None:
@@ -346,6 +362,7 @@ def exp(x: Tensor) -> Tensor:
 
 
 def log(x: Tensor) -> Tensor:
+    """Element-wise natural logarithm."""
     data = np.log(x.data)
 
     def backward(grad: Array) -> None:
@@ -370,6 +387,7 @@ def gather(x: Tensor, index: Array) -> Tensor:
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
     data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)

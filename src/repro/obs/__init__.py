@@ -1,0 +1,46 @@
+"""repro.obs — zero-dependency observability for training runs.
+
+Three pieces, joined per run:
+
+* :class:`Tracer` / :func:`chrome_trace` — nested spans on a
+  deterministic simulated clock, exportable to Chrome-trace /
+  Perfetto JSON;
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms every subsystem reports into;
+* :class:`RunReport` — the per-run JSON artifact combining trace,
+  metrics, the byte ledger and the modeled epoch timeline.
+
+Enable with ``TrainConfig(observe=True)``; inspect saved reports with
+``python -m repro.obs summarize run.json`` or export a trace with
+``python -m repro.obs export run.json -o trace.json``.  See
+``docs/observability.md`` for naming conventions and the determinism
+contract.
+"""
+
+from .metrics import (
+    LOSS_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .observer import RunObserver, attach
+from .report import RunReport, build_run_report
+from .trace import Span, Tracer, chrome_trace
+
+__all__ = [
+    "LOSS_BUCKETS",
+    "SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunObserver",
+    "attach",
+    "RunReport",
+    "build_run_report",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+]

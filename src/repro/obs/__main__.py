@@ -1,0 +1,88 @@
+"""CLI entry point: ``python -m repro.obs <command> <run.json>``.
+
+Commands
+--------
+``summarize run.json``
+    Print the human-readable digest of a saved
+    :class:`~repro.obs.report.RunReport`: comm totals, the modeled
+    epoch timeline, and the costliest spans.
+
+``export run.json [-o trace.json]``
+    Write the report's span tree as Chrome-trace JSON, loadable in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Exit status: 0 on success, 2 on usage errors (missing/unreadable
+report file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .report import RunReport
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or export a saved RunReport artifact.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="print comm totals, timeline and top spans")
+    summarize.add_argument("report", help="path to a RunReport JSON file")
+    summarize.add_argument("--top", type=int, default=5, metavar="N",
+                           help="how many span names to rank (default 5)")
+
+    export = sub.add_parser(
+        "export", help="write the Chrome-trace JSON for the run's spans")
+    export.add_argument("report", help="path to a RunReport JSON file")
+    export.add_argument("-o", "--output", default=None, metavar="TRACE",
+                        help="output path (default: <report>.trace.json)")
+    return parser
+
+
+def _load(path: str) -> RunReport:
+    """Load a report or exit with status 2 on unreadable input."""
+    try:
+        return RunReport.load(path)
+    except FileNotFoundError:
+        print(f"error: no such report file: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {path} is not a RunReport JSON file: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    report = _load(args.report)
+
+    if args.command == "summarize":
+        print(report.summary())
+        if args.top != 5:
+            print(f"top {args.top} spans (self time):")
+            for name, count, secs in report.top_spans(args.top):
+                print(f"  {name:<20} x{count:<6} {secs:.6f} s")
+        return 0
+
+    # export
+    output = args.output
+    if output is None:
+        stem = Path(args.report)
+        output = str(stem.with_suffix("")) + ".trace.json"
+    report.export_chrome_trace(output)
+    events = len(report.chrome_trace()["traceEvents"])
+    print(f"wrote {events} trace events to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""The per-run observability artifact: trace + metrics + byte ledger.
+
+A :class:`RunReport` joins the three records an observed training run
+produces — the span trace, the metrics registry, and the
+:class:`~repro.distributed.comm.CommRecord` byte totals — with the
+modeled epoch-timeline breakdown, into one JSON-serializable object.
+``DistributedTrainer`` attaches it to ``TrainResult.report`` when
+``TrainConfig.observe`` is on; ``python -m repro.obs`` summarizes or
+exports a saved report from the command line.
+
+Invariant (tested in ``tests/test_obs.py``): the report's
+``comm["feature_bytes"]``/``comm["structure_bytes"]``/
+``comm["sync_bytes"]`` equal the run's ``CommRecord`` totals exactly,
+because the mirror counters are incremented inside the meter's own
+charge methods with the same formulas.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .trace import chrome_trace
+
+
+@dataclass
+class RunReport:
+    """Joined observability record of one training run."""
+
+    framework: str
+    num_workers: int
+    epochs: int
+    #: Byte totals mirroring the run's CommRecord exactly.
+    comm: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot of the metrics registry (name -> kind + values).
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Root span dicts (nested) from the tracer.
+    spans: List[Dict[str, object]] = field(default_factory=list)
+    #: Modeled average-epoch wall-clock breakdown (timeline module).
+    timeline: Dict[str, float] = field(default_factory=dict)
+    #: Small free-form extras (best epoch, test metrics, ...).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "framework": self.framework,
+            "num_workers": self.num_workers,
+            "epochs": self.epochs,
+            "comm": dict(self.comm),
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "timeline": dict(self.timeline),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Deterministic JSON encoding of the report."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            framework=str(data["framework"]),
+            num_workers=int(data["num_workers"]),
+            epochs=int(data["epochs"]),
+            comm={k: int(v) for k, v in dict(data.get("comm", {})).items()},
+            metrics=dict(data.get("metrics", {})),
+            spans=list(data.get("spans", [])),
+            timeline={k: float(v)
+                      for k, v in dict(data.get("timeline", {})).items()},
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Parse a report from its JSON encoding."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        """Write the report as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        """Read a report previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # -- trace export ----------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, object]:
+        """Chrome-trace / Perfetto JSON object of the span tree."""
+        return chrome_trace(self.spans)
+
+    def export_chrome_trace(self, path: str) -> None:
+        """Write the Chrome trace to ``path`` (open in Perfetto)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh)
+
+    # -- analysis --------------------------------------------------------
+
+    def span_totals(self) -> Dict[str, Tuple[int, float]]:
+        """Aggregate spans by name: ``{name: (count, total_seconds)}``.
+
+        Totals use each span's *self time* (duration minus children)
+        so a parent does not double-count its children's cost.
+        """
+        totals: Dict[str, List[float]] = {}
+        def visit(span: Dict[str, object]) -> None:
+            children = span.get("children", [])
+            dur = float(span["end_s"]) - float(span["start_s"])
+            self_s = dur - sum(
+                float(c["end_s"]) - float(c["start_s"]) for c in children)
+            entry = totals.setdefault(str(span["name"]), [0, 0.0])
+            entry[0] += 1
+            entry[1] += self_s
+            for child in children:
+                visit(child)
+        for span in self.spans:
+            visit(span)
+        return {name: (int(c), t) for name, (c, t) in totals.items()}
+
+    def top_spans(self, n: int = 3) -> List[Tuple[str, int, float]]:
+        """The ``n`` costliest span names: ``(name, count, seconds)``,
+        sorted by total self time descending (ties by name)."""
+        totals = self.span_totals()
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1][1], kv[0]))
+        return [(name, count, secs) for name, (count, secs) in ranked[:n]]
+
+    def summary(self) -> str:
+        """Human-readable digest: comm totals, timeline, top spans."""
+        mb = float(1024 ** 2)
+        lines = [
+            f"framework: {self.framework}",
+            f"workers:   {self.num_workers}",
+            f"epochs:    {self.epochs}",
+            "communication (run total):",
+            f"  features:  {self.comm.get('feature_bytes', 0) / mb:.3f} MB",
+            f"  structure: {self.comm.get('structure_bytes', 0) / mb:.3f} MB",
+            f"  sync:      {self.comm.get('sync_bytes', 0) / mb:.3f} MB",
+            "modeled epoch timeline:",
+        ]
+        for key in ("compute_s", "network_s", "sync_s", "total_s"):
+            if key in self.timeline:
+                lines.append(f"  {key:<10} {self.timeline[key]:.6f} s")
+        lines.append("top spans (self time):")
+        for name, count, secs in self.top_spans(5):
+            lines.append(f"  {name:<20} x{count:<6} {secs:.6f} s")
+        return "\n".join(lines)
+
+
+def build_run_report(observer, result) -> RunReport:
+    """Assemble the :class:`RunReport` for a finished training run.
+
+    ``observer`` is the run's
+    :class:`~repro.obs.observer.RunObserver`; ``result`` the
+    :class:`~repro.distributed.trainer.TrainResult` it observed.  The
+    timeline breakdown is replayed through the same hardware model the
+    observer's span durations used.
+    """
+    # Deferred to avoid a circular import at package-init time.
+    from ..distributed.timeline import timeline_from_result
+
+    comm = result.comm_total
+    timeline = timeline_from_result(result, hardware=observer.hardware)
+    return RunReport(
+        framework=result.framework,
+        num_workers=result.num_workers,
+        epochs=len(result.history),
+        comm={
+            "feature_bytes": int(comm.feature_bytes),
+            "structure_bytes": int(comm.structure_bytes),
+            "sync_bytes": int(comm.sync_bytes),
+            "graph_data_bytes": int(comm.graph_data_bytes),
+            "total_bytes": int(comm.total_bytes),
+        },
+        metrics=observer.metrics.to_dict(),
+        spans=observer.tracer.to_dicts(),
+        timeline=timeline.breakdown(),
+        meta={
+            "best_epoch": int(result.best_epoch),
+            "test_hits": float(result.test.hits),
+            "test_auc": float(result.test.auc),
+            "dropped_contributions": int(result.dropped_contributions),
+        },
+    )

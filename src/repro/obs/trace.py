@@ -1,0 +1,139 @@
+"""Span-based tracing on a deterministic simulated clock.
+
+A :class:`Tracer` records a tree of named spans, each covering an
+interval of *simulated* seconds.  The clock never reads wall time:
+it only moves when instrumentation calls :meth:`Tracer.advance` with a
+duration derived from the cost model in
+``repro.distributed.timeline`` (bytes over a modeled link, edges over
+a modeled device).  Two same-seed runs therefore produce bit-identical
+traces — the determinism contract documented in
+``docs/observability.md``.
+
+Spans nest lexically: ``tracer.span(...)`` is a context manager, and
+any span opened inside another becomes its child.  The finished tree
+exports to the Chrome-trace / Perfetto JSON event format via
+:func:`chrome_trace` (load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One traced interval: a name, simulated start/end, attributes.
+
+    ``attrs`` carry structured context (worker id, byte counts, batch
+    size); exporters surface them as Chrome-trace ``args``.  ``end_s``
+    is ``None`` while the span is still open.
+    """
+
+    __slots__ = ("name", "start_s", "end_s", "attrs", "children")
+
+    def __init__(self, name: str, start_s: float,
+                 attrs: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.start_s = start_s
+        self.end_s: Optional[float] = None
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.children: List["Span"] = []
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated seconds covered by the span (0.0 while open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def self_s(self) -> float:
+        """Duration not covered by child spans (the span's own cost)."""
+        return self.duration_s - sum(c.duration_s for c in self.children)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested plain-dict form (what :class:`RunReport` serializes)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s if self.end_s is not None else self.start_s,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Collects a forest of :class:`Span` trees on a simulated clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the simulated clock forward (model-derived durations
+        only — never wall-clock measurements)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span; everything opened inside becomes a child."""
+        sp = Span(name, self._now, attrs)
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        finally:
+            self._stack.pop()
+            sp.end_s = self._now
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """All root spans as nested dicts, in recording order."""
+        return [sp.to_dict() for sp in self.roots]
+
+
+def _walk_events(span: Dict[str, object], events: List[Dict[str, object]],
+                 tid: int) -> None:
+    """Flatten one span dict into Chrome complete events (``ph: "X"``)."""
+    span_tid = span.get("attrs", {}).get("worker", tid)
+    start = float(span["start_s"])
+    end = float(span["end_s"])
+    events.append({
+        "name": span["name"],
+        "ph": "X",
+        "ts": start * 1e6,            # Chrome traces use microseconds
+        "dur": (end - start) * 1e6,
+        "pid": 0,
+        "tid": int(span_tid) if isinstance(span_tid, (int, float)) else 0,
+        "args": dict(span.get("attrs", {})),
+    })
+    for child in span.get("children", []):
+        _walk_events(child, events, int(span_tid)
+                     if isinstance(span_tid, (int, float)) else 0)
+
+
+def chrome_trace(spans: List[Dict[str, object]]) -> Dict[str, object]:
+    """Convert span dicts (from :meth:`Tracer.to_dicts` or a saved
+    :class:`~repro.obs.report.RunReport`) to a Chrome-trace JSON object.
+
+    Each span becomes a complete event (``ph: "X"``) with microsecond
+    timestamps; a span's ``worker`` attribute selects its track
+    (``tid``), inherited by children that do not override it.  The
+    result serializes with ``json.dump`` and loads directly in
+    ``chrome://tracing`` or Perfetto.
+    """
+    events: List[Dict[str, object]] = []
+    for span in spans:
+        _walk_events(span, events, tid=0)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -42,6 +42,7 @@ class PartitionedGraph:
     @classmethod
     def build(cls, graph: Graph, assignment: np.ndarray,
               num_parts: int, mirror: bool) -> "PartitionedGraph":
+        """Assemble partition storage from an assignment vector."""
         assignment = np.asarray(assignment, dtype=np.int64)
         if assignment.size != graph.num_nodes:
             raise ValueError("assignment must cover every node")
@@ -76,6 +77,7 @@ class PartitionedGraph:
     # ------------------------------------------------------------------
 
     def owned_nodes(self, part: int) -> np.ndarray:
+        """Node ids assigned to partition ``part``."""
         return np.flatnonzero(self.assignment == part)
 
     def owned_edges(self, part: int) -> np.ndarray:

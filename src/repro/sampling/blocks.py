@@ -60,14 +60,17 @@ class Block:
 
     @property
     def num_src(self) -> int:
+        """Source-side node count."""
         return int(self.src_nodes.size)
 
     @property
     def num_edges(self) -> int:
+        """Edges in this block."""
         return int(self.edge_src.size)
 
     @property
     def dst_nodes(self) -> np.ndarray:
+        """Destination node ids (global id space)."""
         return self.src_nodes[:self.num_dst]
 
 
@@ -85,10 +88,12 @@ class ComputationGraph:
 
     @property
     def input_nodes(self) -> np.ndarray:
+        """Input node ids of the deepest block."""
         return self.blocks[0].src_nodes
 
     @property
     def num_layers(self) -> int:
+        """Number of blocks (= sampling depth)."""
         return len(self.blocks)
 
 
@@ -102,6 +107,7 @@ class NeighborSource(Protocol):
 
     @property
     def num_nodes(self) -> int:  # pragma: no cover - protocol
+        """Total nodes addressable through this source."""
         ...
 
     def neighbors_batch(
@@ -125,9 +131,11 @@ class GraphNeighborSource:
 
     @property
     def num_nodes(self) -> int:
+        """Nodes in the wrapped graph."""
         return self.graph.num_nodes
 
     def neighbors_batch(self, nodes: np.ndarray):
+        """CSR neighbor lists of ``nodes`` (see the protocol)."""
         nodes = np.asarray(nodes, dtype=np.int64)
         g = self.graph
         starts = g.indptr[nodes]

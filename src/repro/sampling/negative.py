@@ -44,6 +44,8 @@ class EdgeMembership:
         return lo * self.num_nodes + hi in self._keys
 
     def contains_many(self, pairs: np.ndarray) -> np.ndarray:
+        """Vectorized membership: True where a pair is an edge (or a
+        self-pair, which is never a valid negative)."""
         pairs = np.asarray(pairs, dtype=np.int64)
         lo = np.minimum(pairs[:, 0], pairs[:, 1])
         hi = np.maximum(pairs[:, 0], pairs[:, 1])
@@ -80,6 +82,7 @@ class PerSourceUniformNegativeSampler:
             raise ValueError("candidate set must be non-empty")
         self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
+        self.obs = None  # optional RunObserver; attached by the trainer
 
     def sample(self, sources: np.ndarray) -> np.ndarray:
         """One negative destination per source; returns ``(m, 2)``."""
@@ -94,6 +97,8 @@ class PerSourceUniformNegativeSampler:
             redraw = self.candidates[self.rng.integers(
                 0, self.candidates.size, size=int(bad.sum()))]
             pairs[bad, 1] = redraw
+        if self.obs is not None:
+            self.obs.counter("sample.negatives").inc(int(pairs.shape[0]))
         return pairs
 
 
@@ -119,8 +124,10 @@ class GlobalUniformNegativeSampler:
             raise ValueError("need at least two candidate nodes")
         self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
+        self.obs = None  # optional RunObserver; attached by the trainer
 
     def sample(self, count: int) -> np.ndarray:
+        """``count`` uniform non-edge pairs; returns ``(count, 2)``."""
         idx = self.rng.integers(0, self.candidates.size, size=(count, 2))
         pairs = self.candidates[idx]
         for _ in range(self.max_rounds):
@@ -131,6 +138,8 @@ class GlobalUniformNegativeSampler:
             redraw = self.rng.integers(0, self.candidates.size,
                                        size=(n_bad, 2))
             pairs[bad] = self.candidates[redraw]
+        if self.obs is not None:
+            self.obs.counter("sample.negatives").inc(int(pairs.shape[0]))
         return pairs
 
 
@@ -163,8 +172,10 @@ class DegreeWeightedNegativeSampler:
         self.probs = weights / weights.sum()
         self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
+        self.obs = None  # optional RunObserver; attached by the trainer
 
     def sample(self, sources: np.ndarray) -> np.ndarray:
+        """One degree-biased negative per source; returns ``(m, 2)``."""
         sources = np.asarray(sources, dtype=np.int64)
         dst = self.rng.choice(self.candidates, size=sources.size,
                               p=self.probs)
@@ -176,6 +187,8 @@ class DegreeWeightedNegativeSampler:
             redraw = self.rng.choice(self.candidates,
                                      size=int(bad.sum()), p=self.probs)
             pairs[bad, 1] = redraw
+        if self.obs is not None:
+            self.obs.counter("sample.negatives").inc(int(pairs.shape[0]))
         return pairs
 
 
@@ -196,6 +209,7 @@ class InBatchNegativeSampler:
         self.membership = EdgeMembership(graph)
         self.rng = ensure_rng(rng)
         self.max_rounds = max_rounds
+        self.obs = None  # optional RunObserver; attached by the trainer
 
     def sample(self, batch: np.ndarray) -> np.ndarray:
         """``batch`` is the positive ``(m, 2)`` edge batch (not just
@@ -217,6 +231,8 @@ class InBatchNegativeSampler:
         if bad.any():
             n = self.membership.num_nodes
             pairs[bad, 1] = self.rng.integers(0, n, size=int(bad.sum()))
+        if self.obs is not None:
+            self.obs.counter("sample.negatives").inc(int(pairs.shape[0]))
         return pairs
 
 

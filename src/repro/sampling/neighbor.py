@@ -96,6 +96,7 @@ class NeighborSampler:
 
     @property
     def num_layers(self) -> int:
+        """Sampling depth (number of fanouts)."""
         return len(self.fanouts)
 
     def sample(self, source: NeighborSource | object,

@@ -9,6 +9,7 @@ worker can read them for drawing global negative samples.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -35,6 +36,7 @@ class SparsifiedPartitions:
     kind: str = "approx_er"
 
     def total_edges(self) -> int:
+        """Edges surviving sparsification, summed over partitions."""
         return sum(g.num_edges for g in self.graphs)
 
 
@@ -43,6 +45,7 @@ def sparsify_partitions(
     alpha: float = 0.15,
     rng: Optional[np.random.Generator] = None,
     kind: str = "approx_er",
+    obs=None,
 ) -> SparsifiedPartitions:
     """Sparsify each partition's subgraph with level ``L^i = alpha |E^i|``.
 
@@ -54,19 +57,35 @@ def sparsify_partitions(
     resistance (``exact_er``, small graphs only) or importance-agnostic
     ``uniform`` sampling — the latter two exist for the design-choice
     ablation.
+
+    ``obs``, when given, records one ``sparsify`` span (a synthetic
+    duration proportional to the edges scanned — wall-clock stays out
+    of observed artifacts) and edges-in/edges-kept counters.
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
     rng = ensure_rng(rng)
     started = time.perf_counter()
     graphs: List[Graph] = []
-    for part in range(partitioned.num_parts):
-        sub = partitioned.local_graph(part)
-        if sub.num_edges == 0:
-            graphs.append(Graph.empty(sub.num_nodes))
-            continue
-        num_samples = max(1, int(round(alpha * sub.num_edges)))
-        graphs.append(sparsify_by_kind(kind, sub, num_samples, rng=rng))
+    span_cm = (obs.span("sparsify", parts=partitioned.num_parts,
+                        alpha=alpha, kind=kind)
+               if obs is not None else nullcontext())
+    with span_cm:
+        for part in range(partitioned.num_parts):
+            sub = partitioned.local_graph(part)
+            if sub.num_edges == 0:
+                graphs.append(Graph.empty(sub.num_nodes))
+                continue
+            num_samples = max(1, int(round(alpha * sub.num_edges)))
+            sparse = sparsify_by_kind(kind, sub, num_samples, rng=rng)
+            graphs.append(sparse)
+            if obs is not None:
+                with obs.span("sparsify_partition", part=part,
+                              edges_in=sub.num_edges,
+                              edges_kept=sparse.num_edges):
+                    obs.advance(obs.compute_seconds(sub.num_edges))
+                obs.counter("sparsify.edges_in").inc(sub.num_edges)
+                obs.counter("sparsify.edges_kept").inc(sparse.num_edges)
     elapsed = time.perf_counter() - started
     return SparsifiedPartitions(graphs=graphs, alpha=alpha,
                                 elapsed_seconds=elapsed, kind=kind)

@@ -1,0 +1,51 @@
+"""Documentation link integrity (scripts/check_links.py)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_links.py"
+
+spec = importlib.util.spec_from_file_location("check_links", SCRIPT)
+check_links = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_links", check_links)
+spec.loader.exec_module(check_links)
+
+
+class TestSlug:
+    def test_plain_heading(self):
+        assert check_links.github_slug("Quick start") == "quick-start"
+
+    def test_code_and_punctuation(self):
+        assert check_links.github_slug(
+            "Observability (`repro.obs`)") == "observability-reproobs"
+
+
+class TestChecker:
+    def test_repo_docs_all_resolve(self):
+        errors = []
+        for path in check_links.DOC_FILES:
+            errors.extend(check_links.check_file(path))
+        assert errors == []
+
+    def test_broken_link_detected(self, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text("# T\n\nsee [gone](missing.md) and [a](#nope)\n")
+        errors = check_links.check_file(md)
+        assert len(errors) == 2
+        assert "missing.md" in errors[0] and "#nope" in errors[1]
+
+    def test_code_fences_and_urls_skipped(self, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text("# T\n\n```\n[x](fake.md)\n```\n"
+                      "[site](https://example.com)\n")
+        assert check_links.check_file(md) == []
+
+    def test_anchor_into_other_file(self, tmp_path):
+        other = tmp_path / "other.md"
+        other.write_text("# Real Heading\n")
+        md = tmp_path / "page.md"
+        md.write_text("[ok](other.md#real-heading)\n"
+                      "[bad](other.md#fake-heading)\n")
+        errors = check_links.check_file(md)
+        assert len(errors) == 1 and "fake-heading" in errors[0]

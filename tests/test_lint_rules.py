@@ -144,11 +144,13 @@ class TestR003InplaceTensorMutation:
 
 class TestHygieneRules:
     def test_r101_mutable_default_flagged(self):
-        code = "def f(x, acc=[], table={}):\n    return acc\n"
+        code = ("def f(x, acc=[], table={}):\n"
+                "    \"\"\"doc\"\"\"\n    return acc\n")
         assert rule_ids(lint_source(code)) == ["R101", "R101"]
 
     def test_r101_none_default_clean(self):
-        code = "def f(x, acc=None):\n    acc = acc or []\n    return acc\n"
+        code = ("def f(x, acc=None):\n"
+                "    \"\"\"doc\"\"\"\n    acc = acc or []\n    return acc\n")
         assert lint_source(code) == []
 
     def test_r102_wall_clock_flagged_perf_counter_allowed(self):
@@ -158,6 +160,47 @@ class TestHygieneRules:
     def test_r103_stdlib_random_flagged(self):
         code = "import random\nfrom random import choice\n"
         assert rule_ids(lint_source(code)) == ["R103", "R103"]
+
+
+class TestDocsRules:
+    R104 = [get_rule("R104")]
+
+    def test_r104_missing_docstrings_flagged(self):
+        code = ("def api():\n    pass\n\n"
+                "class Thing:\n"
+                "    \"\"\"doc\"\"\"\n"
+                "    def method(self):\n        pass\n")
+        findings = lint_source(code, rules=self.R104)
+        assert rule_ids(findings) == ["R104", "R104"]
+        assert "'api'" in findings[0].message
+        assert "'method'" in findings[1].message
+
+    def test_r104_documented_clean(self):
+        code = ("def api():\n    \"\"\"doc\"\"\"\n\n"
+                "class Thing:\n"
+                "    \"\"\"doc\"\"\"\n"
+                "    def method(self):\n"
+                "        \"\"\"doc\"\"\"\n")
+        assert lint_source(code, rules=self.R104) == []
+
+    def test_r104_private_and_nested_exempt(self):
+        code = ("def _helper():\n    pass\n\n"
+                "class _Private:\n"
+                "    def method(self):\n        pass\n\n"
+                "def api():\n"
+                "    \"\"\"doc\"\"\"\n"
+                "    def inner():\n        pass\n")
+        assert lint_source(code, rules=self.R104) == []
+
+    def test_r104_undocumented_class_flagged_once(self):
+        code = "class Bare:\n    pass\n"
+        findings = lint_source(code, rules=self.R104)
+        assert rule_ids(findings) == ["R104"]
+        assert "class 'Bare'" in findings[0].message
+
+    def test_r104_suppressed(self):
+        code = "def api():  # lint: disable=R104\n    pass\n"
+        assert lint_source(code, rules=self.R104) == []
 
 
 class TestReporters:

@@ -1,0 +1,98 @@
+"""Edge cases of the epoch-timeline cost model."""
+
+import pytest
+
+from repro.distributed import (
+    CommRecord,
+    HardwareModel,
+    estimate_epoch_time,
+)
+
+
+class TestHardwareModelGuards:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth_gbps"):
+            HardwareModel(bandwidth_gbps=0.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth_gbps"):
+            HardwareModel(bandwidth_gbps=-1.0)
+
+    def test_zero_throughput_rejected(self):
+        with pytest.raises(ValueError, match="edges_per_second"):
+            HardwareModel(edges_per_second=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="request_latency_s"):
+            HardwareModel(request_latency_s=-1e-6)
+        with pytest.raises(ValueError, match="sync_latency_s"):
+            HardwareModel(sync_latency_s=-1e-6)
+
+    def test_zero_latency_allowed(self):
+        hw = HardwareModel(request_latency_s=0.0, sync_latency_s=0.0)
+        assert hw.request_latency_s == 0.0
+
+    def test_bytes_per_second(self):
+        hw = HardwareModel(bandwidth_gbps=8.0)
+        assert hw.bytes_per_second == pytest.approx(1e9)
+
+
+class TestZeroWorker:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            estimate_epoch_time(CommRecord(), num_workers=0,
+                                edges_processed=0, rounds=0)
+
+    def test_single_worker_no_comm(self):
+        # One worker, nothing fetched, nothing synced: pure compute.
+        hw = HardwareModel(edges_per_second=1e6, sync_latency_s=0.0)
+        t = estimate_epoch_time(CommRecord(), num_workers=1,
+                                edges_processed=1e6, rounds=0,
+                                hardware=hw)
+        assert t.compute_s == pytest.approx(1.0)
+        assert t.network_s == 0.0
+        assert t.sync_s == 0.0
+
+
+class TestStragglerRounds:
+    HW = HardwareModel(edges_per_second=1e6, request_latency_s=0.0,
+                       sync_latency_s=0.0)
+
+    def test_straggler_sets_compute_pace(self):
+        # Balanced mean would be (3e6 + 1e6) / 2 = 2e6 edges -> 2 s;
+        # the lock-step barrier instead waits for the 3e6-edge worker.
+        t = estimate_epoch_time(
+            CommRecord(), num_workers=2, edges_processed=4e6, rounds=4,
+            hardware=self.HW, edges_per_worker=[3e6, 1e6])
+        assert t.compute_s == pytest.approx(3.0)
+
+    def test_balanced_workers_match_mean(self):
+        balanced = estimate_epoch_time(
+            CommRecord(), num_workers=2, edges_processed=4e6, rounds=4,
+            hardware=self.HW, edges_per_worker=[2e6, 2e6])
+        mean = estimate_epoch_time(
+            CommRecord(), num_workers=2, edges_processed=4e6, rounds=4,
+            hardware=self.HW)
+        assert balanced.compute_s == pytest.approx(mean.compute_s)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="edges_per_worker"):
+            estimate_epoch_time(
+                CommRecord(), num_workers=3, edges_processed=1e6,
+                rounds=1, hardware=self.HW, edges_per_worker=[1e6, 1e6])
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            estimate_epoch_time(
+                CommRecord(), num_workers=2, edges_processed=1e6,
+                rounds=1, hardware=self.HW, edges_per_worker=[1e6, -1.0])
+
+    def test_straggler_never_faster_than_mean(self):
+        for split_edges in ([4e6, 0.0], [2.5e6, 1.5e6], [2e6, 2e6]):
+            straggler = estimate_epoch_time(
+                CommRecord(), num_workers=2, edges_processed=4e6,
+                rounds=4, hardware=self.HW, edges_per_worker=split_edges)
+            mean = estimate_epoch_time(
+                CommRecord(), num_workers=2, edges_processed=4e6,
+                rounds=4, hardware=self.HW)
+            assert straggler.compute_s >= mean.compute_s - 1e-12
