@@ -1,70 +1,71 @@
 #!/usr/bin/env python
 """Quickstart: train SpLPG on a synthetic Cora-like graph.
 
-Walks the full pipeline of the paper's Algorithm 1:
+Walks the full pipeline of the paper's Algorithm 1 through the
+`repro.api` front door:
 
-1. load a dataset and split its edges 80/10/10,
-2. partition + sparsify (METIS with mirrored cross-edges, then
-   effective-resistance sparsification of each partition),
-3. train GraphSAGE replicas on 4 simulated workers with global
-   per-source negative sampling,
-4. report test Hits@K / AUC and the communication ledger.
+1. the `repro.run(...)` one-liner — load, split, partition, sparsify,
+   train, evaluate in a single call,
+2. the chainable `Session`, which keeps the simulated cluster alive so
+   the trained model can also score held-out pairs,
+3. the underlying `SpLPG` class for when you need the pieces
+   (`prepare()` exposes the partition/sparsify intermediates).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import SpLPG, TrainConfig, load_dataset, split_edges
+import repro
 
 
 def main() -> None:
-    rng = np.random.default_rng(0)
+    print("One-liner: repro.run trains any framework end to end...")
+    result = repro.run(framework="splpg", dataset="cora", workers=4,
+                       scale="quick", epochs=15, hits_k=50)
+    print(result.summary())
 
-    print("Loading a Cora-like dataset (scaled for a quick demo)...")
-    graph = load_dataset("cora", scale=0.3, feature_dim=64)
+    print("\nSession: same pipeline, chainable, cluster kept alive...")
+    graph = repro.load_dataset("cora", scale=0.3, feature_dim=64)
+    split = repro.split_edges(graph, rng=np.random.default_rng(0))
     print(f"  {graph}")
-
-    split = split_edges(graph, rng=rng)
     print(f"  train/val/test positive edges: "
           f"{split.train_pos.shape[0]}/{split.val_pos.shape[0]}/"
           f"{split.test_pos.shape[0]}")
 
-    config = TrainConfig(
-        gnn_type="sage",
-        hidden_dim=64,
-        num_layers=2,
-        fanouts=(10, 5),
-        batch_size=128,
-        epochs=15,
-        hits_k=50,
-        eval_every=3,
-        seed=0,
-    )
-    framework = SpLPG(num_parts=4, alpha=0.15, config=config, seed=0)
+    session = (repro.Session(graph, split)
+               .partition(4)
+               .framework("splpg")
+               .backend("serial")          # or "thread" / "process";
+               .configure(gnn_type="sage",  # results are bit-identical
+                          hidden_dim=64, num_layers=2, fanouts=(10, 5),
+                          batch_size=128, epochs=15, hits_k=50,
+                          eval_every=3, seed=0))
+    result = session.train()
+    print(f"  Test {result.test}")
+    print(f"  Best epoch: {result.best_epoch}")
+    print(f"  Graph data transferred: "
+          f"{result.graph_data_gb_per_epoch * 1024:.3f} MB/epoch")
 
-    print("\nPreparing (partition + sparsify)...")
+    print("\n  Scoring five held-out positives and five negatives:")
+    pos = session.score(split.test_pos[:5])
+    neg = session.score(split.test_neg[:5])
+    for (u, v), s in zip(split.test_pos[:5].tolist(), pos.scores):
+        print(f"    edge ({u:4d},{v:4d})  score={s:+.3f}  (positive)")
+    for (u, v), s in zip(split.test_neg[:5].tolist(), neg.scores):
+        print(f"    pair ({u:4d},{v:4d})  score={s:+.3f}  (negative)")
+
+    print("\nLow level: the SpLPG class exposes the intermediates...")
+    config = repro.TrainConfig(gnn_type="sage", hidden_dim=64,
+                               num_layers=2, fanouts=(10, 5),
+                               batch_size=128, epochs=15, hits_k=50,
+                               eval_every=3, seed=0)
+    framework = repro.SpLPG(num_parts=4, alpha=0.15, config=config, seed=0)
     prepared = framework.prepare(split.train_graph)
     kept = prepared.sparsified.total_edges()
     total = sum(p.num_edges for p in prepared.partitioned.parts)
     print(f"  sparsification kept {kept}/{total} partition edges "
           f"({kept / total:.1%}) in {prepared.sparsify_seconds:.3f}s")
-
-    print("\nTraining on 4 simulated workers...")
-    result = framework.fit(split)
-
-    print(f"\nTest {result.test}")
-    print(f"Best epoch: {result.best_epoch}")
-    print(f"Graph data transferred: "
-          f"{result.graph_data_gb_per_epoch * 1024:.3f} MB/epoch")
-
-    print("\nScoring five held-out positive pairs and five negatives:")
-    pos_scores = framework.score(split.test_pos[:5])
-    neg_scores = framework.score(split.test_neg[:5])
-    for (u, v), s in zip(split.test_pos[:5].tolist(), pos_scores):
-        print(f"  edge ({u:4d},{v:4d})  score={s:+.3f}  (positive)")
-    for (u, v), s in zip(split.test_neg[:5].tolist(), neg_scores):
-        print(f"  pair ({u:4d},{v:4d})  score={s:+.3f}  (negative)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Backend benchmark driver: sweep backends × workers, emit JSON.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py                # full sweep
+    PYTHONPATH=src python scripts/bench.py --smoke        # ~10 s CI run
+    PYTHONPATH=src python scripts/bench.py --out FILE
+
+The full sweep writes ``BENCH_backends.json`` at the repo root (the
+committed artifact); ``--smoke`` runs a miniature workload, validates
+the emitted document against the ``bench_backends/v1`` schema, and
+exits non-zero on any schema problem — this is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.bench_backends import (  # noqa: E402
+    FULL,
+    SMOKE,
+    check_speedup,
+    run_bench,
+    validate_document,
+)
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the sweep, write and validate the JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="miniature workload + schema validation only")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_backends.json at "
+                             "the repo root; smoke runs default to not "
+                             "persisting)")
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="worker counts to sweep (default: 2 4)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timings per cell, best-of (default: 2, "
+                             "smoke: 1)")
+    args = parser.parse_args(argv)
+
+    params = SMOKE if args.smoke else FULL
+    workers = args.workers or ([2] if args.smoke else [2, 4])
+    repeats = args.repeats or (1 if args.smoke else 2)
+    doc = run_bench(workers_list=workers, params=params, repeats=repeats)
+
+    problems = validate_document(doc)
+    if not args.smoke:
+        speedup_problem = check_speedup(doc)
+        if speedup_problem is not None:
+            problems.append(speedup_problem)
+        elif doc["host"]["schedulable_cpus"] <= 1:
+            doc["speedup_note"] = (
+                "single schedulable CPU: parallel backends cannot beat "
+                "serial wall-clock on this host; rerun on a multi-core "
+                "machine for the speedup claim")
+            print(f"NOTE: {doc['speedup_note']}", file=sys.stderr)
+    print(f"host: {doc['host']['schedulable_cpus']} schedulable cpu(s)")
+    for row in doc["results"]:
+        print(f"{row['backend']:>8s}  workers={row['workers']}  "
+              f"wall={row['wall_s']:8.3f}s  "
+              f"speedup={row['speedup_vs_serial']:.2f}x  "
+              f"hits={row['hits']:.4f}")
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
+        return 1
+
+    out = args.out
+    if out is None and not args.smoke:
+        out = REPO_ROOT / "BENCH_backends.json"
+    if out is not None:
+        out.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

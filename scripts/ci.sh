@@ -8,8 +8,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== backend equivalence =="
+python -m pytest -x -q tests/test_backends.py tests/test_api.py
+
 echo "== repro.lint =="
 python -m repro.lint src/ --format json
+
+echo "== bench smoke (schema gate) =="
+python scripts/bench.py --smoke
 
 echo "== docs links =="
 python scripts/check_links.py

@@ -5,24 +5,33 @@ The package implements SpLPG and every system it depends on from
 scratch on numpy: graph storage, METIS-style partitioning,
 effective-resistance sparsification, a GNN autograd stack
 (GCN/GraphSAGE/GAT/GATv2), mini-batch samplers, and a simulated
-distributed runtime with byte-exact communication accounting.
+distributed runtime with byte-exact communication accounting and
+pluggable execution backends (serial / thread / process).
 
 Quickstart
 ----------
 >>> import repro
->>> graph = repro.load_dataset("cora", scale=0.2, feature_dim=64)
->>> split = repro.split_edges(graph)
->>> result = repro.SpLPG(num_parts=4).fit(split)   # doctest: +SKIP
+>>> result = repro.run(framework="splpg", dataset="cora",
+...                    workers=4, backend="process",
+...                    scale="smoke")                  # doctest: +SKIP
+>>> print(result.summary())                           # doctest: +SKIP
+
+See :mod:`repro.api` for the full front door (including the chainable
+:class:`~repro.api.Session`); the older ``build_trainer`` /
+``run_framework`` entry points still work but emit
+``DeprecationWarning`` — import them from :mod:`repro.core` instead.
 """
 
+import warnings as _warnings
+
+from . import api
+from .api import Session, resolve_config, run
 from .core import (
     FRAMEWORK_NAMES,
     FRAMEWORKS,
     PAPER_LABELS,
     FrameworkSpec,
     SpLPG,
-    build_trainer,
-    run_framework,
 )
 from .distributed import TrainConfig, TrainResult, train_centralized
 from .eval import EvalResult, Evaluator, auc, hits_at_k
@@ -36,9 +45,35 @@ from .graph import (
 from .partition import partition_graph
 from .sparsify import sparsify_with_level, spielman_srivastava_sparsify
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Legacy top-level entry points, served through ``__getattr__`` so the
+#: import itself carries the deprecation signal.  The implementations
+#: in :mod:`repro.core.frameworks` are unchanged — internal code
+#: imports them from there and stays warning-free.
+_DEPRECATED_ENTRY_POINTS = {
+    "build_trainer": "repro.core.build_trainer (or repro.api.Session)",
+    "run_framework": "repro.core.run_framework (or repro.run)",
+}
+
+
+def __getattr__(name):
+    """Serve deprecated top-level entry points with a warning."""
+    if name in _DEPRECATED_ENTRY_POINTS:
+        _warnings.warn(
+            f"repro.{name} is deprecated; use "
+            f"{_DEPRECATED_ENTRY_POINTS[name]} instead",
+            DeprecationWarning, stacklevel=2)
+        from . import core as _core
+        return getattr(_core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "api",
+    "run",
+    "Session",
+    "resolve_config",
     "FRAMEWORK_NAMES",
     "FRAMEWORKS",
     "PAPER_LABELS",

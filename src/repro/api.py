@@ -1,0 +1,273 @@
+"""repro.api — the unified front door to the reproduction.
+
+Every experiment in the repo boils down to the same sequence: load a
+graph, split its edges, partition it across simulated workers, train
+one of the paper's frameworks, and read the accuracy/communication
+result.  Historically each step had its own entry point
+(``load_dataset`` / ``split_edges`` / ``build_trainer`` /
+``run_framework``) plus an :class:`~repro.experiments.config.ExperimentScale`
+preset whose knobs partially overlapped ``TrainConfig``.  This module
+collapses that into two shapes:
+
+One-liner — :func:`run`::
+
+    import repro
+    result = repro.run(framework="splpg", dataset="cora",
+                       workers=4, backend="process")
+    print(result.summary())
+
+Chainable session — :class:`Session`::
+
+    session = (repro.api.Session(graph, split)
+               .partition(4)
+               .framework("splpg")
+               .backend("thread")
+               .train())
+    scores = session.score(pairs)
+
+:func:`resolve_config` is the *single* reconciliation point between
+``ExperimentScale`` knobs and ``TrainConfig`` fields; both
+``ExperimentScale.train_config`` and :func:`run` delegate to it, so a
+scale preset and explicit overrides can never disagree silently.
+
+The pre-existing entry points (``repro.build_trainer``,
+``repro.run_framework``) keep working as thin shims that emit
+``DeprecationWarning`` — see ``repro/__init__.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from .core.frameworks import FRAMEWORK_NAMES, FRAMEWORKS, build_trainer
+from .distributed.inference import DistributedScorer, InferenceResult
+from .distributed.trainer import DistributedTrainer, TrainConfig, TrainResult
+from .graph.graph import Graph
+from .graph.splits import EdgeSplit, split_edges
+
+__all__ = ["run", "Session", "resolve_config"]
+
+#: TrainConfig fields an ExperimentScale preset provides defaults for.
+_SCALE_FIELDS = ("hidden_dim", "num_layers", "fanouts", "batch_size",
+                 "epochs", "hits_k", "eval_every", "sync", "seed")
+
+
+def _scale_preset(name: str):
+    """Look up an :class:`ExperimentScale` preset by name."""
+    from .experiments.config import ExperimentScale
+
+    presets = {
+        "quick": ExperimentScale.quick,
+        "smoke": ExperimentScale.smoke,
+        "paper": ExperimentScale.paper,
+    }
+    if name not in presets:
+        raise ValueError(
+            f"unknown scale preset {name!r}; choose from "
+            f"{tuple(sorted(presets))}")
+    return presets[name]()
+
+
+def resolve_config(scale=None, **overrides) -> TrainConfig:
+    """Reconcile an experiment scale with ``TrainConfig`` overrides.
+
+    ``scale`` may be ``None`` (paper-default ``TrainConfig``), a preset
+    name (``"quick"`` | ``"smoke"`` | ``"paper"``), or any object
+    carrying the :data:`_SCALE_FIELDS` attributes (duck-typed so
+    :class:`~repro.experiments.config.ExperimentScale` can delegate
+    here without a circular import).  Explicit ``overrides`` always win
+    over scale-provided defaults.
+    """
+    if isinstance(scale, str):
+        scale = _scale_preset(scale)
+    base = {}
+    if scale is not None:
+        for name in _SCALE_FIELDS:
+            if hasattr(scale, name):
+                base[name] = getattr(scale, name)
+        base.setdefault("gnn_type", "sage")
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def run(
+    framework: str = "splpg",
+    dataset: Optional[str] = None,
+    *,
+    split: Optional[EdgeSplit] = None,
+    graph: Optional[Graph] = None,
+    workers: int = 4,
+    backend: str = "serial",
+    scale=None,
+    alpha: float = 0.15,
+    sparsifier_kind: str = "approx_er",
+    **cfg,
+) -> TrainResult:
+    """Train a framework end to end and return its :class:`TrainResult`.
+
+    Exactly one data source must be given: a ``dataset`` name (loaded
+    at the resolved scale), a ``graph`` (edges split here, seeded by
+    the config seed), or a pre-made ``split``.  ``workers`` is the
+    number of simulated workers (partitions), ``backend`` the execution
+    engine (``serial`` | ``thread`` | ``process``), ``scale`` an
+    optional :class:`~repro.experiments.config.ExperimentScale` or
+    preset name, and ``**cfg`` any :class:`TrainConfig` override.
+
+    >>> import repro
+    >>> result = repro.run("splpg", dataset="cora", workers=4,
+    ...                    backend="process", scale="smoke")  # doctest: +SKIP
+    """
+    sources = sum(x is not None for x in (dataset, split, graph))
+    if sources != 1:
+        raise ValueError(
+            "exactly one of dataset=, graph= or split= must be given "
+            f"(got {sources})")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    config = resolve_config(scale, backend=backend, num_workers=workers,
+                            **cfg)
+    if dataset is not None:
+        if isinstance(scale, str) or scale is None:
+            from .experiments.config import ExperimentScale
+            data_scale = (_scale_preset(scale) if isinstance(scale, str)
+                          else ExperimentScale.quick())
+        else:
+            data_scale = scale
+        split = data_scale.load_split(dataset)
+    elif graph is not None:
+        split = split_edges(graph,
+                            rng=np.random.default_rng(config.seed + 101))
+    from .core.frameworks import run_framework as _run_framework
+
+    if framework == "centralized":
+        # A single trainer, no partitions: workers/backend don't apply.
+        config = resolve_config(scale, **cfg)
+        return _run_framework("centralized", split, workers, config)
+    return _run_framework(framework, split, workers, config, alpha=alpha,
+                          rng=np.random.default_rng(config.seed),
+                          sparsifier_kind=sparsifier_kind)
+
+
+class Session:
+    """Chainable builder over the load → partition → train pipeline.
+
+    Each configuration step returns ``self`` so a whole experiment
+    reads as one expression::
+
+        result = (Session(graph, split)
+                  .partition(4)
+                  .framework("splpg")
+                  .backend("process")
+                  .configure(epochs=20)
+                  .train())
+
+    After :meth:`train`, the session retains the trainer, so
+    :meth:`score` can serve predictions from the same simulated
+    cluster that trained the model.
+    """
+
+    def __init__(self, graph: Union[Graph, EdgeSplit],
+                 split: Optional[EdgeSplit] = None) -> None:
+        if isinstance(graph, EdgeSplit):
+            if split is not None:
+                raise ValueError(
+                    "pass either Session(split) or Session(graph, split), "
+                    "not both")
+            split = graph
+            graph = None
+        self._graph = graph
+        self._split = split
+        self._workers = 2
+        self._framework = "splpg"
+        self._backend = "serial"
+        self._scale = None
+        self._overrides: dict = {}
+        self._alpha = 0.15
+        self._trainer: Optional[DistributedTrainer] = None
+        self._result: Optional[TrainResult] = None
+
+    # -- chainable configuration ----------------------------------------
+
+    def partition(self, workers: int) -> "Session":
+        """Set the number of simulated workers (graph partitions)."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._workers = int(workers)
+        return self
+
+    def framework(self, name: str) -> "Session":
+        """Select the training framework (one of ``FRAMEWORK_NAMES``)."""
+        if name not in FRAMEWORKS:
+            raise ValueError(
+                f"unknown framework {name!r}; choose from "
+                f"{FRAMEWORK_NAMES}")
+        self._framework = name
+        return self
+
+    def backend(self, name: str) -> "Session":
+        """Select the execution backend for training and scoring."""
+        from .distributed.backends import BACKEND_NAMES
+
+        if name not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
+        self._backend = name
+        return self
+
+    def scale(self, scale) -> "Session":
+        """Attach an ``ExperimentScale`` (object or preset name)."""
+        self._scale = scale
+        return self
+
+    def configure(self, **overrides) -> "Session":
+        """Override any :class:`TrainConfig` field (alpha included)."""
+        self._alpha = overrides.pop("alpha", self._alpha)
+        self._overrides.update(overrides)
+        return self
+
+    # -- execution ------------------------------------------------------
+
+    def config(self) -> TrainConfig:
+        """The fully-reconciled :class:`TrainConfig` this session runs."""
+        return resolve_config(self._scale, backend=self._backend,
+                              num_workers=self._workers, **self._overrides)
+
+    def train(self) -> TrainResult:
+        """Build the trainer for the current configuration and run it."""
+        config = self.config()
+        if self._split is None:
+            self._split = split_edges(
+                self._graph, rng=np.random.default_rng(config.seed + 101))
+        self._trainer = build_trainer(
+            FRAMEWORKS[self._framework], self._split, self._workers,
+            config, alpha=self._alpha,
+            rng=np.random.default_rng(config.seed))
+        self._result = self._trainer.train()
+        return self._result
+
+    @property
+    def result(self) -> Optional[TrainResult]:
+        """The last :meth:`train` outcome (``None`` before training)."""
+        return self._result
+
+    def score(self, pairs, fanouts=None) -> InferenceResult:
+        """Serve predictions for node pairs from the trained cluster.
+
+        Uses the session's backend; the model is worker 0's trained
+        (synchronized) replica and remote fetches are charged exactly
+        as during training.
+        """
+        if self._trainer is None:
+            raise RuntimeError("call train() before score()")
+        trainer = self._trainer
+        config = trainer.config
+        scorer = DistributedScorer(
+            trainer.workers[0].model, trainer.partitioned,
+            remote=trainer.remote_store,
+            fanouts=fanouts if fanouts is not None else config.fanouts,
+            rng=np.random.default_rng(config.seed + 271),
+            backend=self._backend,
+        )
+        return scorer.score(pairs)

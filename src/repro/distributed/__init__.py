@@ -9,6 +9,14 @@ from .comm import (
     CommMeter,
     CommRecord,
 )
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .centralized import train_centralized
 from .commodel import CommEstimate, estimate_epoch_comm
 from .inference import DistributedScorer, InferenceResult
@@ -41,6 +49,12 @@ __all__ = [
     "GB",
     "CommMeter",
     "CommRecord",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "make_backend",
     "train_centralized",
     "CommEstimate",
     "estimate_epoch_comm",

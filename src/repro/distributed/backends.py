@@ -1,0 +1,749 @@
+"""Parallel execution backends for the distributed trainer.
+
+The trainer simulates ``p`` workers; *how* their per-round batch work
+is executed is an engine concern, factored out here behind the
+:class:`ExecutionBackend` contract:
+
+* :class:`SerialBackend` — the original in-process loop, the default.
+  Workers train one after another in worker order; bit-identical to
+  the pre-backend trainer.
+* :class:`ThreadBackend` — a thread pool dispatches every worker's
+  mini-batch concurrently.  numpy releases the GIL inside the dense
+  and sparse matmul / segment-reduction hot paths, so compute-bound
+  rounds overlap.  All mutable state (model replica, optimizer, RNG,
+  CommMeter) is per-worker, so results are independent of thread
+  interleaving and bit-identical to Serial.
+* :class:`ProcessBackend` — one forked child process per worker, with
+  the full graph's feature matrix re-homed into
+  ``multiprocessing.shared_memory`` before the fork so every child
+  reads features through one shared mapping (no pickling of graphs,
+  views or feature tensors — children inherit them copy-on-write).
+  Each child owns its worker's batch loader, samplers and RNG stream
+  end to end; per-round results (loss, message-flow edge counts,
+  gradient tensors, communication deltas) are merged by the parent in
+  deterministic worker order, so same-seed accuracy and the CommMeter
+  byte ledger match Serial exactly.
+
+Synchronization (gradient or model averaging) is the barrier: every
+backend finishes the round's batch work before the trainer invokes the
+sync collective, exactly as Algorithm 1 prescribes.
+
+Backends are selected with ``TrainConfig(backend=...)`` or constructed
+directly via :func:`make_backend`.  Parallel backends degrade to
+Serial with a warning when there is only one worker or (for
+ProcessBackend) when the platform cannot ``fork``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .comm import CommRecord
+from .sync import average_gradients, average_models, sync_bytes_per_worker
+
+#: Names accepted by ``TrainConfig.backend`` / :func:`make_backend`.
+BACKEND_NAMES = ("serial", "thread", "process")
+
+#: Keep shared-memory segments (and the ndarray views into them) alive
+#: for the life of the process: graphs handed out by a ProcessBackend
+#: keep referencing the mapping after the pool shuts down, and closing
+#: it under them would invalidate live arrays.  Segments are unlinked
+#: (named resource released) at shutdown; the mapping itself is freed
+#: when the process exits.
+_LIVE_SHARED_SEGMENTS: List[object] = []
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one worker's mini-batch in one round."""
+
+    loss: float
+    mfg_edges: int
+
+
+class ExecutionBackend:
+    """Contract between :class:`DistributedTrainer` and an engine.
+
+    Lifecycle: the trainer calls :meth:`bind` once at the start of
+    ``train()`` and :meth:`shutdown` when training ends.  Each epoch it
+    calls :meth:`begin_epoch`, then repeatedly :meth:`poll_batches`
+    (draw one batch per live worker), decides participation (failure
+    injection), and calls :meth:`train_round`.  Synchronization runs
+    through :meth:`apply_gradients` / :meth:`sync_models` — the
+    round-level barrier — plus the optimizer-step, correction and
+    evaluation hooks below.
+
+    Implementations must preserve two invariants: every worker's RNG
+    stream advances exactly as under :class:`SerialBackend`, and all
+    floating-point reductions happen in worker order — together these
+    make same-seed runs bit-identical across backends.
+    """
+
+    name = "base"
+    #: True for backends that overlap worker compute; the trainer
+    #: records ``pool.*`` metrics only for these.
+    parallel = False
+
+    def bind(self, trainer) -> None:
+        """Attach to a trainer (fork pools, allocate executors)."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pools, processes and shared memory."""
+        raise NotImplementedError
+
+    def begin_epoch(self) -> None:
+        """Reset per-epoch state: feature caches and batch iterators."""
+        raise NotImplementedError
+
+    def all_exhausted(self) -> bool:
+        """True once every worker's epoch iterator is spent."""
+        raise NotImplementedError
+
+    def poll_batches(self) -> List[bool]:
+        """Draw the next batch for every live worker (worker order).
+
+        Returns one flag per worker: True if it holds a pending batch
+        for this round, False if it is (or just became) exhausted.
+        """
+        raise NotImplementedError
+
+    def train_round(self, participate: Sequence[bool]
+                    ) -> List[Optional[RoundResult]]:
+        """Run the round's pending batches.
+
+        ``participate[i]`` False discards worker *i*'s pending batch
+        (failure injection: the batch is consumed but never trained).
+        Returns per-worker results, ``None`` where nothing ran.
+        """
+        raise NotImplementedError
+
+    def apply_gradients(self, participating: Sequence[bool],
+                        topology: str, obs=None) -> None:
+        """Average participants' gradients; every replica receives
+        the mean (the gradient-sync barrier)."""
+        raise NotImplementedError
+
+    def step_all(self) -> None:
+        """Optimizer step on every worker (post gradient averaging)."""
+        raise NotImplementedError
+
+    def step_participants(self, participating: Sequence[bool]) -> None:
+        """Optimizer step on round participants only (model-averaging
+        mode trains locally between syncs)."""
+        raise NotImplementedError
+
+    def sync_models(self, topology: str, obs=None) -> None:
+        """FedAvg model averaging across all replicas (the model-sync
+        barrier)."""
+        raise NotImplementedError
+
+    def refresh_eval_model(self) -> None:
+        """Make ``trainer.workers[0].model`` reflect worker 0's current
+        weights (no-op for in-process backends)."""
+        raise NotImplementedError
+
+    def run_correction(self, hook) -> None:
+        """Run a server-side correction hook over all model replicas."""
+        raise NotImplementedError
+
+    def scale_lr(self, factor: float) -> None:
+        """Multiply every worker optimizer's learning rate."""
+        raise NotImplementedError
+
+
+def make_backend(name: str, num_workers: int):
+    """Build the named backend, degrading when it cannot help.
+
+    ``process`` (and ``thread``) with a single worker would pay pool
+    startup for zero overlap, so they degrade to :class:`SerialBackend`
+    with a warning; ``process`` also degrades on platforms without the
+    ``fork`` start method (children must inherit the graph without
+    pickling it).
+    """
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {BACKEND_NAMES}")
+    if name == "serial":
+        return SerialBackend()
+    if num_workers <= 1:
+        warnings.warn(
+            f"backend={name!r} with {num_workers} worker(s) has nothing "
+            "to parallelize; degrading to the serial backend",
+            RuntimeWarning, stacklevel=2)
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(num_workers)
+    if "fork" not in mp.get_all_start_methods():
+        warnings.warn(
+            "backend='process' needs the fork start method (workers "
+            "inherit the graph copy-on-write); degrading to the serial "
+            "backend", RuntimeWarning, stacklevel=2)
+        return SerialBackend()
+    return ProcessBackend(num_workers)
+
+
+# ----------------------------------------------------------------------
+# Serial
+# ----------------------------------------------------------------------
+
+
+class SerialBackend(ExecutionBackend):
+    """The original sequential in-process engine (default)."""
+
+    name = "serial"
+    parallel = False
+
+    def __init__(self) -> None:
+        self.trainer = None
+        self._iters: List = []
+        self._pending: List[Optional[np.ndarray]] = []
+        self._exhausted: List[bool] = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self, trainer) -> None:
+        """Attach to ``trainer``; serial needs no pool setup."""
+        self.trainer = trainer
+        n = len(trainer.workers)
+        self._pending = [None] * n
+        self._exhausted = [True] * n
+
+    def shutdown(self) -> None:
+        """Nothing to release for the in-process engine."""
+        self.trainer = None
+
+    # -- epoch / round --------------------------------------------------
+
+    def begin_epoch(self) -> None:
+        """Clear feature caches and build fresh shuffled iterators."""
+        trainer = self.trainer
+        if trainer.config.cache_remote_features:
+            for worker in trainer.workers:
+                worker.view.clear_feature_cache()
+        self._iters = [iter(w.loader) for w in trainer.workers]
+        self._exhausted = [False] * len(trainer.workers)
+        self._pending = [None] * len(trainer.workers)
+
+    def all_exhausted(self) -> bool:
+        """True once every worker's iterator is spent."""
+        return all(self._exhausted)
+
+    def poll_batches(self) -> List[bool]:
+        """Draw one batch per live worker, in worker order."""
+        has: List[bool] = []
+        for i, it in enumerate(self._iters):
+            if self._exhausted[i]:
+                self._pending[i] = None
+                has.append(False)
+                continue
+            batch = next(it, None)
+            if batch is None:
+                self._exhausted[i] = True
+                self._pending[i] = None
+                has.append(False)
+            else:
+                self._pending[i] = batch
+                has.append(True)
+        return has
+
+    def train_round(self, participate: Sequence[bool]
+                    ) -> List[Optional[RoundResult]]:
+        """Train pending batches one worker at a time, in order."""
+        out: List[Optional[RoundResult]] = [None] * len(participate)
+        for i, worker in enumerate(self.trainer.workers):
+            batch = self._pending[i]
+            self._pending[i] = None
+            if batch is None or not participate[i]:
+                continue
+            loss, edges = worker.train_batch(batch)
+            out[i] = RoundResult(loss, edges)
+        return out
+
+    # -- synchronization ------------------------------------------------
+
+    def apply_gradients(self, participating: Sequence[bool],
+                        topology: str, obs=None) -> None:
+        """In-process gradient all-reduce over the worker replicas."""
+        trainer = self.trainer
+        average_gradients([w.model for w in trainer.workers],
+                          trainer.meters, participating,
+                          topology=topology, obs=obs)
+
+    def step_all(self) -> None:
+        """Step every optimizer (replicas share the averaged grad)."""
+        for worker in self.trainer.workers:
+            worker.optimizer.step()
+
+    def step_participants(self, participating: Sequence[bool]) -> None:
+        """Step only the workers that trained this round."""
+        for worker, ok in zip(self.trainer.workers, participating):
+            if ok:
+                worker.optimizer.step()
+
+    def sync_models(self, topology: str, obs=None) -> None:
+        """In-process FedAvg over the worker replicas."""
+        trainer = self.trainer
+        average_models([w.model for w in trainer.workers],
+                       trainer.meters, topology=topology, obs=obs)
+
+    # -- auxiliary hooks ------------------------------------------------
+
+    def refresh_eval_model(self) -> None:
+        """Worker 0's model object is live in-process; nothing to do."""
+
+    def run_correction(self, hook) -> None:
+        """Run the correction hook directly over the live replicas."""
+        hook([w.model for w in self.trainer.workers])
+
+    def scale_lr(self, factor: float) -> None:
+        """Decay every worker optimizer's learning rate in place."""
+        for worker in self.trainer.workers:
+            worker.optimizer.lr *= factor
+
+
+# ----------------------------------------------------------------------
+# Threads
+# ----------------------------------------------------------------------
+
+
+class ThreadBackend(SerialBackend):
+    """Thread-pool engine: one round's batches run concurrently.
+
+    Batch *drawing* stays sequential in the caller thread (preserving
+    per-worker RNG streams exactly); only the compute-heavy
+    ``train_batch`` calls are dispatched to the pool.  Each worker's
+    state is touched by exactly one thread per round and results are
+    collected in worker order, so outputs are bit-identical to Serial.
+
+    Per-batch observability spans are disabled under this backend (the
+    span tracer is a single simulated-clock stack); the trainer records
+    ``pool.*`` wall-clock metrics instead.
+    """
+
+    name = "thread"
+    parallel = True
+
+    def __init__(self, num_workers: int) -> None:
+        super().__init__()
+        self.num_workers = int(num_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def bind(self, trainer) -> None:
+        """Attach to ``trainer`` and spin up the thread pool."""
+        super().bind(trainer)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.num_workers,
+            thread_name_prefix="repro-worker")
+
+    def shutdown(self) -> None:
+        """Stop the thread pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        super().shutdown()
+
+    def train_round(self, participate: Sequence[bool]
+                    ) -> List[Optional[RoundResult]]:
+        """Dispatch pending batches to the pool; join in worker order."""
+        trainer = self.trainer
+        tasks = []
+        for i, worker in enumerate(trainer.workers):
+            batch = self._pending[i]
+            self._pending[i] = None
+            if batch is None or not participate[i]:
+                continue
+            tasks.append((i, worker, batch))
+        out: List[Optional[RoundResult]] = [None] * len(participate)
+        if not tasks:
+            return out
+        started = time.perf_counter()
+        futures = [
+            (i, self._pool.submit(worker._run_batch, batch, None))
+            for i, worker, batch in tasks
+        ]
+        for i, future in futures:
+            loss, edges = future.result()
+            out[i] = RoundResult(loss, edges)
+        _record_pool_round(trainer.observer, self.name, len(tasks),
+                           self.num_workers,
+                           time.perf_counter() - started)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Processes
+# ----------------------------------------------------------------------
+
+
+class ProcessBackend(ExecutionBackend):
+    """Forked worker processes with shared-memory feature storage.
+
+    At :meth:`bind` the full graph's feature matrix is copied once into
+    a ``multiprocessing.shared_memory`` segment and the graph is
+    re-pointed at the shared view; the subsequent ``fork`` gives every
+    child the same mapping, so feature reads never cross a pickle
+    boundary and the matrix exists once in physical memory.  Each child
+    then owns its worker outright — batch loader, negative/neighbor
+    samplers, model replica, optimizer and meter — and speaks a small
+    command protocol over a pipe:
+
+    ``("epoch",)``                    reset caches + iterator
+    ``("draw",)``                     draw next batch  → has-batch flag
+    ``("train", ok, want_grads)``     train/discard    → loss, edges,
+                                      comm delta, optional grad dict
+    ``("grads", avg, step)``          receive averaged grads (+ step)
+    ``("step",)``                     local optimizer step
+    ``("get_model",)``                → state dict
+    ``("set_model", state)``          load synchronized weights
+    ``("lr", factor)``                decay learning rate
+    ``("stop",)``                     exit
+
+    The parent performs every cross-worker reduction (gradient mean,
+    model mean) itself, iterating replicas in worker order with the
+    same float operation order as :func:`~repro.distributed.sync`, and
+    absorbs each child's communication deltas into the parent-side
+    meters — hence bit-identical metrics and byte-identical ledgers.
+    """
+
+    name = "process"
+    parallel = True
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = int(num_workers)
+        self.trainer = None
+        self._procs: List[mp.Process] = []
+        self._conns: List = []
+        self._has_pending: List[bool] = []
+        self._exhausted: List[bool] = []
+        self._round_grads: Dict[int, Dict[str, Optional[np.ndarray]]] = {}
+        self._shm = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def bind(self, trainer) -> None:
+        """Move features to shared memory, then fork one child per
+        worker (children inherit the trainer copy-on-write)."""
+        self.trainer = trainer
+        n = len(trainer.workers)
+        if n != self.num_workers:
+            self.num_workers = n
+        self._shm = _share_features(trainer.partitioned.full)
+        ctx = mp.get_context("fork")
+        self._procs, self._conns = [], []
+        for part in range(n):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_child_main, args=(trainer, part, child_conn),
+                daemon=True, name=f"repro-worker-{part}")
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._exhausted = [True] * n
+        self._has_pending = [False] * n
+
+    def shutdown(self) -> None:
+        """Stop children and release the shared-memory segment name."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs, self._conns = [], []
+        if self._shm is not None:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+        self.trainer = None
+
+    # -- epoch / round --------------------------------------------------
+
+    def begin_epoch(self) -> None:
+        """Tell every child to reset its cache and iterator."""
+        for conn in self._conns:
+            conn.send(("epoch",))
+        self._exhausted = [False] * self.num_workers
+        self._has_pending = [False] * self.num_workers
+
+    def all_exhausted(self) -> bool:
+        """True once every child reported an empty iterator."""
+        return all(self._exhausted)
+
+    def poll_batches(self) -> List[bool]:
+        """Ask all live children to draw; collect flags in order."""
+        live = [i for i in range(self.num_workers) if not self._exhausted[i]]
+        for i in live:
+            self._conns[i].send(("draw",))
+        for i in live:
+            tag, has_batch = self._conns[i].recv()
+            assert tag == "drawn"
+            self._has_pending[i] = bool(has_batch)
+            if not has_batch:
+                self._exhausted[i] = True
+        return [self._has_pending[i] and not self._exhausted[i]
+                for i in range(self.num_workers)]
+
+    def train_round(self, participate: Sequence[bool]
+                    ) -> List[Optional[RoundResult]]:
+        """Run (or discard) every pending batch concurrently; merge
+        losses, edge counts, grads and comm deltas in worker order."""
+        trainer = self.trainer
+        want_grads = trainer.config.sync == "grad"
+        pending = [i for i in range(self.num_workers)
+                   if self._has_pending[i]]
+        started = time.perf_counter()
+        for i in pending:
+            self._conns[i].send(("train", bool(participate[i]), want_grads))
+        out: List[Optional[RoundResult]] = [None] * len(participate)
+        self._round_grads = {}
+        tasks = 0
+        for i in pending:
+            tag, payload = self._conns[i].recv()
+            assert tag == "result"
+            self._has_pending[i] = False
+            if payload is None:
+                continue
+            loss, edges, delta, grads = payload
+            out[i] = RoundResult(loss, edges)
+            trainer.meters[i].absorb(
+                CommRecord(feature_bytes=delta[0], structure_bytes=delta[1],
+                           sync_bytes=delta[2]))
+            if grads is not None:
+                self._round_grads[i] = grads
+            tasks += 1
+        _record_pool_round(trainer.observer, self.name, tasks,
+                           self.num_workers,
+                           time.perf_counter() - started)
+        return out
+
+    # -- synchronization ------------------------------------------------
+
+    def apply_gradients(self, participating: Sequence[bool],
+                        topology: str, obs=None) -> None:
+        """Parent-side gradient mean over participants' returned grads;
+        every child receives the mean (and will step on ``step_all``)."""
+        active = [self._round_grads[i]
+                  for i, ok in enumerate(participating)
+                  if ok and i in self._round_grads]
+        if obs is not None:
+            obs.counter("sync.rounds").inc(1)
+            obs.counter("sync.participants").inc(sum(participating))
+        if not active:
+            return
+        averaged: Dict[str, Optional[np.ndarray]] = {}
+        for name in active[0]:
+            grads = [g[name] for g in active if g[name] is not None]
+            if grads:
+                averaged[name] = sum(grads) / len(active)
+            else:
+                averaged[name] = None
+        for conn in self._conns:
+            conn.send(("grads", averaged, False))
+        self._round_grads = {}
+        self._charge_sync(topology)
+
+    def step_all(self) -> None:
+        """Every child steps its optimizer."""
+        for conn in self._conns:
+            conn.send(("step",))
+
+    def step_participants(self, participating: Sequence[bool]) -> None:
+        """Only the round's participants step their optimizers."""
+        for conn, ok in zip(self._conns, participating):
+            if ok:
+                conn.send(("step",))
+
+    def sync_models(self, topology: str, obs=None) -> None:
+        """Parent-side FedAvg: pull every child's weights, average in
+        worker order, push the mean back to all children."""
+        if obs is not None:
+            obs.counter("sync.rounds").inc(1)
+            obs.counter("sync.participants").inc(self.num_workers)
+        states = self._gather_states()
+        averaged = {
+            name: np.mean([sd[name] for sd in states], axis=0)
+            for name in states[0]
+        }
+        for conn in self._conns:
+            conn.send(("set_model", averaged))
+        self._charge_sync(topology)
+
+    def _charge_sync(self, topology: str) -> None:
+        """Charge one sync round to every parent-side meter (same
+        formula as the in-process ``_charge_sync``)."""
+        trainer = self.trainer
+        per_worker = sync_bytes_per_worker(
+            trainer.workers[0].model.parameter_nbytes(),
+            self.num_workers, topology)
+        for meter in trainer.meters:
+            meter.charge_sync(per_worker)
+
+    # -- auxiliary hooks ------------------------------------------------
+
+    def _gather_states(self) -> List[Dict[str, np.ndarray]]:
+        """All children's state dicts, in worker order."""
+        for conn in self._conns:
+            conn.send(("get_model",))
+        states = []
+        for conn in self._conns:
+            tag, state = conn.recv()
+            assert tag == "model"
+            states.append(state)
+        return states
+
+    def refresh_eval_model(self) -> None:
+        """Load child 0's current weights into the parent replica the
+        evaluator reads."""
+        self._conns[0].send(("get_model",))
+        tag, state = self._conns[0].recv()
+        assert tag == "model"
+        self.trainer.workers[0].model.load_state_dict(state)
+
+    def run_correction(self, hook) -> None:
+        """Pull all replicas to the parent, run the server-side hook,
+        push the corrected weights back to every child."""
+        trainer = self.trainer
+        models = [w.model for w in trainer.workers]
+        for model, state in zip(models, self._gather_states()):
+            model.load_state_dict(state)
+        hook(models)
+        for conn, model in zip(self._conns, models):
+            conn.send(("set_model", model.state_dict()))
+
+    def scale_lr(self, factor: float) -> None:
+        """Broadcast the learning-rate decay to every child."""
+        for conn in self._conns:
+            conn.send(("lr", float(factor)))
+
+
+def _share_features(graph):
+    """Re-home ``graph.features`` into a shared-memory segment.
+
+    Returns the segment (or ``None`` when the graph has no features).
+    The view replaces ``graph.features`` permanently — see
+    ``_LIVE_SHARED_SEGMENTS`` for why the mapping is never closed.
+    """
+    feats = getattr(graph, "features", None)
+    if feats is None or feats.nbytes == 0:
+        return None
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=feats.nbytes)
+    view = np.ndarray(feats.shape, dtype=feats.dtype, buffer=shm.buf)
+    view[:] = feats
+    view.flags.writeable = feats.flags.writeable
+    graph.features = view
+    _LIVE_SHARED_SEGMENTS.append((shm, view))
+    return shm
+
+
+def _child_main(trainer, part: int, conn) -> None:
+    """Entry point of a forked worker process.
+
+    Owns worker ``part`` of the (inherited, copy-on-write) trainer and
+    executes parent commands until ``stop``.  Observability is detached
+    child-side — spans/metrics belong to the parent; the child reports
+    raw deltas instead.
+    """
+    worker = trainer.workers[part]
+    meter = trainer.meters[part]
+    worker.obs = None
+    worker.negative_sampler.obs = None
+    worker.view.obs = None
+    meter.obs = None
+    if trainer.remote_store is not None:
+        inner = getattr(trainer.remote_store, "_store", trainer.remote_store)
+        inner.obs = None
+    iterator = None
+    pending = None
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "stop":
+                break
+            elif cmd == "epoch":
+                if trainer.config.cache_remote_features:
+                    worker.view.clear_feature_cache()
+                iterator = iter(worker.loader)
+                pending = None
+            elif cmd == "draw":
+                pending = next(iterator, None)
+                conn.send(("drawn", pending is not None))
+            elif cmd == "train":
+                _, ok, want_grads = msg
+                if pending is None or not ok:
+                    pending = None
+                    conn.send(("result", None))
+                    continue
+                before = (meter.current.feature_bytes,
+                          meter.current.structure_bytes,
+                          meter.current.sync_bytes)
+                loss, edges = worker._run_batch(pending, None)
+                pending = None
+                delta = (meter.current.feature_bytes - before[0],
+                         meter.current.structure_bytes - before[1],
+                         meter.current.sync_bytes - before[2])
+                grads = None
+                if want_grads:
+                    grads = {name: p.grad for name, p
+                             in worker.model.named_parameters()}
+                conn.send(("result", (loss, edges, delta, grads)))
+            elif cmd == "grads":
+                _, averaged, do_step = msg
+                for name, p in worker.model.named_parameters():
+                    g = averaged.get(name)
+                    p.grad = None if g is None else g.copy()
+                if do_step:
+                    worker.optimizer.step()
+            elif cmd == "step":
+                worker.optimizer.step()
+            elif cmd == "get_model":
+                conn.send(("model", worker.model.state_dict()))
+            elif cmd == "set_model":
+                worker.model.load_state_dict(msg[1])
+            elif cmd == "lr":
+                worker.optimizer.lr *= msg[1]
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown backend command {cmd!r}")
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+def _record_pool_round(observer, backend_name: str, tasks: int,
+                       workers: int, wall_s: float) -> None:
+    """Record one parallel round's pool metrics on the run observer.
+
+    Real wall-clock lands in ``pool.*`` counters/gauges and a
+    zero-duration ``pool.round`` span attribute — kept separate from
+    the simulated timeline so modeled durations stay deterministic.
+    """
+    if observer is None or tasks == 0:
+        return
+    with observer.span("pool.round", backend=backend_name,
+                       tasks=tasks) as span:
+        span.attrs["wall_s"] = wall_s
+    observer.counter("pool.rounds").inc(1)
+    observer.counter("pool.tasks").inc(tasks)
+    observer.counter("pool.wall_busy_s").inc(wall_s)
+    observer.gauge("pool.workers").set(workers)

@@ -120,6 +120,30 @@ class CommMeter:
         if self.obs is not None:
             self.obs.counter("comm.sync_bytes").inc(int(nbytes))
 
+    def absorb(self, record: CommRecord) -> None:
+        """Merge byte totals measured elsewhere into this meter.
+
+        The process execution backend charges a *child* copy of the
+        meter inside the worker process and ships the per-batch delta
+        back; the parent absorbs it here so the authoritative ledger
+        (and its observer mirror) stays byte-identical to an
+        in-process run.
+        """
+        if record.feature_bytes:
+            self.current.feature_bytes += record.feature_bytes
+            if self.obs is not None:
+                self.obs.counter("comm.feature_bytes").inc(
+                    record.feature_bytes)
+        if record.structure_bytes:
+            self.current.structure_bytes += record.structure_bytes
+            if self.obs is not None:
+                self.obs.counter("comm.structure_bytes").inc(
+                    record.structure_bytes)
+        if record.sync_bytes:
+            self.current.sync_bytes += record.sync_bytes
+            if self.obs is not None:
+                self.obs.counter("comm.sync_bytes").inc(record.sync_bytes)
+
     # -- epoch bookkeeping ----------------------------------------------
 
     def end_epoch(self) -> CommRecord:

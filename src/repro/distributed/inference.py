@@ -7,6 +7,14 @@ computational graph through that worker's view (local partition plus
 the configured remote store, with every remote access charged), and
 scores the pair with the trained model.
 
+Scoring can run on any :mod:`execution backend
+<repro.distributed.backends>`: worker shards are disjoint, so the
+``thread`` backend scores them concurrently in one process and the
+``process`` backend forks one child per worker (copy-on-write graph,
+results and communication deltas merged in worker order).  Scores and
+ledgers are bit-identical across backends: every worker's sampler seed
+is pre-drawn from the scorer RNG in worker order before any dispatch.
+
 With full-neighbor computation (``fanouts = [-1] * K``) and a complete
 remote store, distributed scores are *exactly* equal to centralized
 scores — the test suite uses this as an end-to-end consistency check
@@ -15,8 +23,11 @@ of the whole locality machinery.
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +35,7 @@ from ..rng import ensure_rng
 from ..nn.models import LinkPredictionModel
 from ..partition.partitioned import PartitionedGraph
 from ..sampling.neighbor import NeighborSampler
+from .backends import BACKEND_NAMES
 from .comm import CommMeter, CommRecord
 from .views import WorkerGraphView
 
@@ -35,6 +47,21 @@ class InferenceResult:
     scores: np.ndarray
     comm: CommRecord
     pairs_per_worker: List[int]
+
+    def summary(self) -> str:
+        """Human-readable report of the scoring pass (routing + comm
+        ledger), following the same convention as
+        :meth:`TrainResult.summary <repro.distributed.trainer.TrainResult.summary>`."""
+        total = self.comm
+        routed = ", ".join(str(c) for c in self.pairs_per_worker)
+        lines = [
+            f"pairs scored:     {int(self.scores.shape[0])}",
+            f"pairs per worker: [{routed}]",
+            "communication:",
+            f"  features:  {total.feature_bytes / 2**20:.3f} MB",
+            f"  structure: {total.structure_bytes / 2**20:.3f} MB",
+        ]
+        return "\n".join(lines)
 
 
 class DistributedScorer:
@@ -53,6 +80,9 @@ class DistributedScorer:
     fanouts:
         Per-layer fanouts; ``[-1] * K`` for exact full-neighbor
         inference.
+    backend:
+        Execution backend name (``serial`` | ``thread`` | ``process``);
+        results are bit-identical across all three.
     """
 
     def __init__(
@@ -63,12 +93,23 @@ class DistributedScorer:
         fanouts: Sequence[int] = (-1, -1),
         batch_size: int = 1024,
         rng: Optional[np.random.Generator] = None,
+        backend: str = "serial",
     ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {BACKEND_NAMES}")
+        if (backend == "process"
+                and "fork" not in mp.get_all_start_methods()):
+            warnings.warn(
+                "backend='process' needs the fork start method; scoring "
+                "serially instead", RuntimeWarning, stacklevel=2)
+            backend = "serial"
         self.model = model
         self.partitioned = partitioned
         self.fanouts = list(fanouts)
         self.batch_size = batch_size
         self.rng = ensure_rng(rng)
+        self.backend = backend
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         self.views = [
             WorkerGraphView(partitioned, part, remote=remote,
@@ -82,29 +123,124 @@ class DistributedScorer:
         owners = self.partitioned.assignment[pairs[:, 0]]
         scores = np.empty(pairs.shape[0], dtype=np.float64)
         counts: List[int] = []
-        self.model.eval()
-        for part, view in enumerate(self.views):
+        # Pre-draw every shard's sampler seed in worker order so the
+        # scorer RNG advances identically on every backend.
+        shards: List[tuple] = []  # (part, sel, seed)
+        for part in range(self.partitioned.num_parts):
             sel = np.flatnonzero(owners == part)
             counts.append(int(sel.size))
             if sel.size == 0:
                 continue
-            sampler = NeighborSampler(
-                self.fanouts,
-                rng=np.random.default_rng(self.rng.integers(0, 2**63 - 1)))
-            for start in range(0, sel.size, self.batch_size):
-                idx = sel[start:start + self.batch_size]
-                batch = pairs[idx]
-                seeds, inverse = np.unique(batch.ravel(),
-                                           return_inverse=True)
-                comp_graph = sampler.sample(view, seeds)
-                feats = view.fetch_features(comp_graph.input_nodes)
-                pair_idx = inverse.reshape(-1, 2)
-                out = self.model(comp_graph, feats,
-                                 pair_idx[:, 0], pair_idx[:, 1])
-                scores[idx] = out.data
-        self.model.train()
+            shards.append((part, sel,
+                           int(self.rng.integers(0, 2**63 - 1))))
+        self.model.eval()
+        try:
+            if self.backend == "thread" and len(shards) > 1:
+                self._score_threaded(shards, pairs, scores)
+            elif self.backend == "process" and len(shards) > 1:
+                self._score_forked(shards, pairs, scores)
+            else:
+                for part, sel, seed in shards:
+                    scores[sel] = self._score_shard(part, sel, pairs, seed)
+        finally:
+            self.model.train()
         comm = CommRecord()
         for meter in self.meters:
             comm += meter.total()
         return InferenceResult(scores=scores, comm=comm,
                                pairs_per_worker=counts)
+
+    # ------------------------------------------------------------------
+
+    def _score_shard(self, part: int, sel: np.ndarray, pairs: np.ndarray,
+                     seed: int) -> np.ndarray:
+        """Score one worker's shard of pairs, in routing order.
+
+        Touches only worker-``part`` state (view, meter, a fresh
+        sampler), so shards are safe to run concurrently.
+        """
+        view = self.views[part]
+        sampler = NeighborSampler(self.fanouts,
+                                  rng=np.random.default_rng(seed))
+        out = np.empty(sel.size, dtype=np.float64)
+        for start in range(0, sel.size, self.batch_size):
+            idx = sel[start:start + self.batch_size]
+            batch = pairs[idx]
+            seeds, inverse = np.unique(batch.ravel(), return_inverse=True)
+            comp_graph = sampler.sample(view, seeds)
+            feats = view.fetch_features(comp_graph.input_nodes)
+            pair_idx = inverse.reshape(-1, 2)
+            logits = self.model(comp_graph, feats,
+                                pair_idx[:, 0], pair_idx[:, 1])
+            out[start:start + idx.size] = logits.data
+        return out
+
+    def _score_threaded(self, shards, pairs, scores) -> None:
+        """Score shards on a thread pool; shards write disjoint rows
+        and worker-private meters, so no cross-thread mutation."""
+        with ThreadPoolExecutor(
+                max_workers=len(shards),
+                thread_name_prefix="repro-scorer") as pool:
+            futures = [
+                (sel, pool.submit(self._score_shard, part, sel, pairs, seed))
+                for part, sel, seed in shards
+            ]
+            for sel, future in futures:
+                scores[sel] = future.result()
+
+    def _score_forked(self, shards, pairs, scores) -> None:
+        """Fork one child per shard (copy-on-write graph); merge scores
+        and communication deltas in worker order."""
+        ctx = mp.get_context("fork")
+        procs, conns = [], []
+        for part, sel, seed in shards:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_scorer_child,
+                args=(self, part, sel, pairs, seed, child_conn),
+                daemon=True, name=f"repro-scorer-{part}")
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+        try:
+            for (part, sel, _seed), conn in zip(shards, conns):
+                shard_scores, delta = conn.recv()
+                scores[sel] = shard_scores
+                self.meters[part].absorb(
+                    CommRecord(feature_bytes=delta[0],
+                               structure_bytes=delta[1],
+                               sync_bytes=delta[2]))
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - hung child
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+
+    def comm_summary(self) -> Dict[str, int]:
+        """Cumulative communication over every ``score`` call so far."""
+        comm = CommRecord()
+        for meter in self.meters:
+            comm += meter.total()
+        return comm.to_dict()
+
+
+def _scorer_child(scorer: DistributedScorer, part: int, sel: np.ndarray,
+                  pairs: np.ndarray, seed: int, conn) -> None:
+    """Entry point of a forked scoring child: score the shard against
+    the inherited (copy-on-write) scorer state, report scores plus the
+    meter delta the shard charged."""
+    meter = scorer.meters[part]
+    before = (meter.current.feature_bytes, meter.current.structure_bytes,
+              meter.current.sync_bytes)
+    try:
+        shard_scores = scorer._score_shard(part, sel, pairs, seed)
+        delta = (meter.current.feature_bytes - before[0],
+                 meter.current.structure_bytes - before[1],
+                 meter.current.sync_bytes - before[2])
+        conn.send((shard_scores, delta))
+    finally:
+        conn.close()

@@ -20,6 +20,7 @@ weights with the best validation Hits@K are the ones tested.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -41,7 +42,7 @@ from ..sampling.negative import (
 )
 from ..sampling.neighbor import NeighborSampler
 from .comm import GB, CommMeter, CommRecord
-from .sync import average_gradients, average_models, broadcast_model
+from .sync import broadcast_model
 from .views import WorkerGraphView
 
 
@@ -92,11 +93,33 @@ class TrainConfig:
     # observed runs stay deterministic and observe=False runs are
     # bit-identical to uninstrumented ones.
     observe: bool = False
+    # Execution backend: "serial" (default), "thread" or "process".
+    # All three produce bit-identical results for the same seed — see
+    # repro.distributed.backends.
+    backend: str = "serial"
+    # Expected worker count, 0 = decided by the trainer (num_parts).
+    # When set it must match the cluster size at build time; it exists
+    # so a fully self-describing config can be validated up front.
+    num_workers: int = 0
     seed: int = 0
 
     def __post_init__(self) -> None:
         if self.sync not in ("model", "grad"):
             raise ValueError("sync must be 'model' or 'grad'")
+        from .backends import BACKEND_NAMES
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.num_workers == 1 and self.backend != "serial":
+            # A one-worker pool pays startup for zero overlap.
+            import warnings
+            warnings.warn(
+                f"backend={self.backend!r} with num_workers=1 degrades "
+                "to the serial backend", RuntimeWarning, stacklevel=2)
+            self.backend = "serial"
         if len(self.fanouts) != self.num_layers:
             raise ValueError("need one fanout per layer")
         if not 0.0 <= self.worker_failure_prob < 1.0:
@@ -302,11 +325,23 @@ class DistributedTrainer:
         correction_hook=None,
         positive_mode: str = "local",
         observer: Optional[RunObserver] = None,
+        backend=None,
     ) -> None:
         if positive_mode not in ("local", "owned_cover"):
             raise ValueError(
                 f"positive_mode must be 'local' or 'owned_cover', "
                 f"got {positive_mode!r}")
+        if (config.num_workers
+                and config.num_workers != partitioned.num_parts):
+            raise ValueError(
+                f"TrainConfig.num_workers={config.num_workers} does not "
+                f"match the partitioning ({partitioned.num_parts} parts)")
+        if backend is None:
+            backend = config.backend
+        if isinstance(backend, str):
+            from .backends import make_backend
+            backend = make_backend(backend, partitioned.num_parts)
+        self.backend = backend
         self.framework = framework
         self.split = split
         self.partitioned = partitioned
@@ -397,13 +432,35 @@ class DistributedTrainer:
     def train(self) -> TrainResult:
         """Run Algorithm 1 to completion and return the result.
 
-        When an observer is attached, every epoch/round/batch/sync
-        phase is traced on the simulated clock and the joined
+        The per-round batch work executes on the configured
+        :mod:`execution backend <repro.distributed.backends>`; the
+        synchronization collectives are the round barrier.  When an
+        observer is attached, every epoch/round/batch/sync phase is
+        traced on the simulated clock and the joined
         :class:`~repro.obs.report.RunReport` lands on
         ``TrainResult.report``.
         """
+        backend = self.backend
+        backend.bind(self)
+        wall_started = time.perf_counter()
+        try:
+            result = self._train_loop()
+        finally:
+            backend.shutdown()
+        if self.observer is not None and backend.parallel:
+            # Real elapsed time of the whole run, alongside the modeled
+            # (simulated-clock) timeline.
+            self.observer.gauge("train.wall_clock_s").set(
+                time.perf_counter() - wall_started)
+            if result.report is not None:
+                result.report = build_run_report(self.observer, result)
+        return result
+
+    def _train_loop(self) -> TrainResult:
+        """The epoch/round loop, generic over the execution backend."""
         config = self.config
         obs = self.observer
+        backend = self.backend
         models = [w.model for w in self.workers]
         history: List[EpochStats] = []
         best_val = -1.0
@@ -418,28 +475,19 @@ class DistributedTrainer:
                         if obs is not None else nullcontext())
             epoch_started = obs.tracer.now_s if obs is not None else 0.0
             with epoch_cm:
-                if config.cache_remote_features:
-                    for worker in self.workers:
-                        worker.view.clear_feature_cache()
-                iterators = [iter(w.loader) for w in self.workers]
-                exhausted = [False] * len(self.workers)
+                backend.begin_epoch()
                 losses: List[float] = []
                 batches_since_sync = 0
                 epoch_rounds = 0
                 epoch_mfg_edges = 0
-                while not all(exhausted):
+                while not backend.all_exhausted():
                     round_cm = (obs.span("round", index=epoch_rounds)
                                 if obs is not None else nullcontext())
                     with round_cm:
+                        has_batch = backend.poll_batches()
                         participating = []
-                        for i, (worker, it) in enumerate(
-                                zip(self.workers, iterators)):
-                            if exhausted[i]:
-                                participating.append(False)
-                                continue
-                            batch = next(it, None)
-                            if batch is None:
-                                exhausted[i] = True
+                        for has in has_batch:
+                            if not has:
                                 participating.append(False)
                                 continue
                             if (config.worker_failure_prob
@@ -456,11 +504,11 @@ class DistributedTrainer:
                                     ).inc(1)
                                 participating.append(False)
                                 continue
-                            loss_value, batch_edges = worker.train_batch(
-                                batch)
-                            losses.append(loss_value)
-                            epoch_mfg_edges += batch_edges
                             participating.append(True)
+                        for res in backend.train_round(participating):
+                            if res is not None:
+                                losses.append(res.loss)
+                                epoch_mfg_edges += res.mfg_edges
                         epoch_rounds += 1
                         if obs is not None:
                             obs.counter("train.rounds").inc(1)
@@ -470,33 +518,20 @@ class DistributedTrainer:
                             # failures).
                             continue
                         if config.sync == "grad":
-                            self._synchronize(
-                                average_gradients, models, self.meters,
-                                participating, mode="grad",
-                                topology=config.sync_topology)
-                            for worker, ok in zip(self.workers,
-                                                  participating):
-                                worker.optimizer.step()
+                            self._synchronize("grad", participating)
+                            backend.step_all()
                         else:
-                            for worker, ok in zip(self.workers,
-                                                  participating):
-                                if ok:
-                                    worker.optimizer.step()
+                            backend.step_participants(participating)
                             batches_since_sync += 1
                             if (config.sync_every_batches
                                     and batches_since_sync
                                     >= config.sync_every_batches):
-                                self._synchronize(
-                                    average_models, models, self.meters,
-                                    mode="model",
-                                    topology=config.sync_topology)
+                                self._synchronize("model")
                                 batches_since_sync = 0
                                 self._run_correction()
                 if config.sync == "model" and (
                         not config.sync_every_batches or batches_since_sync):
-                    self._synchronize(average_models, models, self.meters,
-                                      mode="model",
-                                      topology=config.sync_topology)
+                    self._synchronize("model")
                     self._run_correction()
                 elif config.sync == "grad":
                     # Under per-round gradient averaging the replicas
@@ -513,6 +548,7 @@ class DistributedTrainer:
                 val = None
                 if ((epoch + 1) % config.eval_every == 0
                         or epoch == config.epochs - 1):
+                    backend.refresh_eval_model()
                     val_cm = (obs.span("validate", epoch=epoch)
                               if obs is not None else nullcontext())
                     with val_cm:
@@ -541,11 +577,12 @@ class DistributedTrainer:
                 break
             if (config.lr_decay < 1.0
                     and (epoch + 1) % config.lr_decay_every == 0):
-                for worker in self.workers:
-                    worker.optimizer.lr *= config.lr_decay
+                backend.scale_lr(config.lr_decay)
 
         if best_state is not None:
             models[0].load_state_dict(best_state)
+        else:
+            backend.refresh_eval_model()
         test_cm = obs.span("test") if obs is not None else nullcontext()
         with test_cm:
             test = self.evaluator.test(models[0])
@@ -568,16 +605,28 @@ class DistributedTrainer:
 
     # ------------------------------------------------------------------
 
-    def _synchronize(self, sync_fn, *args, mode: str, **kwargs) -> None:
-        """Run a sync collective, traced as one ``sync`` span whose
-        duration is the per-worker payload over the modeled link."""
+    def _synchronize(self, mode: str,
+                     participating: Optional[List[bool]] = None) -> None:
+        """Run the backend's sync barrier, traced as one ``sync`` span
+        whose duration is the per-worker payload over the modeled
+        link."""
         obs = self.observer
+        topology = self.config.sync_topology
+
+        def dispatch(obs_arg) -> None:
+            """Route to the right backend collective."""
+            if mode == "grad":
+                self.backend.apply_gradients(participating, topology,
+                                             obs=obs_arg)
+            else:
+                self.backend.sync_models(topology, obs=obs_arg)
+
         if obs is None:
-            sync_fn(*args, **kwargs)
+            dispatch(None)
             return
         before = self.meters[0].current.sync_bytes
         with obs.span("sync", mode=mode) as sp:
-            sync_fn(*args, obs=obs, **kwargs)
+            dispatch(obs)
             moved = self.meters[0].current.sync_bytes - before
             seconds = obs.sync_seconds(moved)
             obs.advance(seconds)
@@ -588,4 +637,4 @@ class DistributedTrainer:
 
     def _run_correction(self) -> None:
         if self.correction_hook is not None:
-            self.correction_hook([w.model for w in self.workers])
+            self.backend.run_correction(self.correction_hook)

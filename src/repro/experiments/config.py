@@ -70,21 +70,14 @@ class ExperimentScale:
     # ------------------------------------------------------------------
 
     def train_config(self, **overrides) -> TrainConfig:
-        """Build a :class:`TrainConfig` at this scale, with overrides."""
-        base = dict(
-            gnn_type="sage",
-            hidden_dim=self.hidden_dim,
-            num_layers=self.num_layers,
-            fanouts=self.fanouts,
-            batch_size=self.batch_size,
-            epochs=self.epochs,
-            hits_k=self.hits_k,
-            eval_every=self.eval_every,
-            sync=self.sync,
-            seed=self.seed,
-        )
-        base.update(overrides)
-        return TrainConfig(**base)
+        """Build a :class:`TrainConfig` at this scale, with overrides.
+
+        Delegates to :func:`repro.api.resolve_config`, the single place
+        where scale knobs and ``TrainConfig`` fields are reconciled.
+        """
+        from ..api import resolve_config
+
+        return resolve_config(self, **overrides)
 
     def load(self, dataset: str) -> Graph:
         """Load ``dataset`` at this scale's size and feature dim."""
@@ -111,6 +104,21 @@ class MeanResult:
     def val_curve(self):
         """Validation curve of the first run (for convergence plots)."""
         return self.runs[0].val_curve() if self.runs else []
+
+    def summary(self) -> str:
+        """Human-readable report of the seed-averaged outcome, following
+        the same convention as :meth:`TrainResult.summary
+        <repro.distributed.trainer.TrainResult.summary>`."""
+        framework = self.runs[0].framework if self.runs else "?"
+        lines = [
+            f"framework: {framework}",
+            f"seeds:     {len(self.runs)}",
+            f"test:      Hits={self.hits:.4f} ± {self.hits_std:.4f}, "
+            f"AUC={self.auc:.4f}",
+            f"comm:      {self.comm_gb_per_epoch:.6f} GB/epoch "
+            f"(graph data)",
+        ]
+        return "\n".join(lines)
 
 
 def run_framework_mean(

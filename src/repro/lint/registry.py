@@ -44,6 +44,7 @@ def _load_builtin_rules() -> None:
     # Deferred so `registry` can be imported without dragging in every
     # rule module (and to avoid circular imports at package init).
     from . import (  # noqa: F401
+        rules_api,
         rules_autograd,
         rules_determinism,
         rules_docs,

@@ -1,0 +1,63 @@
+"""API-boundary rule.
+
+With ``repro.api`` as the unified front door, the supported ways to
+obtain a trainer are :func:`repro.api.run`, :class:`repro.api.Session`
+and :func:`repro.core.frameworks.build_trainer` — they are where
+``TrainConfig`` reconciliation, backend selection and framework wiring
+happen.  Constructing :class:`~repro.distributed.trainer.DistributedTrainer`
+by hand anywhere else skips all of that (no framework spec, no scale
+reconciliation, silently wrong stores/negatives for the framework being
+simulated).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .astutils import call_name
+from .registry import Rule, register
+
+
+@register
+class DirectTrainerConstructionRule(Rule):
+    """R105: DistributedTrainer constructed outside the facade.
+
+    Scope: every module except the trainer's own package
+    (``repro/distributed/``) and the two blessed assembly points
+    (``repro/core/frameworks.py``, ``repro/core/splpg.py``).
+    Deliberate low-level construction (e.g. a white-box test) must
+    carry an explicit ``# lint: disable=R105`` with a justification.
+    """
+
+    rule_id = "R105"
+    name = "direct-trainer-construction"
+    description = ("DistributedTrainer(...) constructed outside the "
+                   "repro.api / build_trainer facade")
+
+    _EXEMPT_PREFIXES = ("repro/distributed/",)
+    _EXEMPT = ("repro/core/frameworks.py", "repro/core/splpg.py")
+
+    def applies_to(self, modpath: str) -> bool:
+        """Everything but the trainer package and blessed assemblers."""
+        return (not modpath.startswith(self._EXEMPT_PREFIXES)
+                and modpath not in self._EXEMPT)
+
+    def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
+        from .engine import Finding
+
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name and name.split(".")[-1] == "DistributedTrainer":
+                findings.append(Finding(
+                    rule_id=self.rule_id, path=modpath,
+                    line=node.lineno, col=node.col_offset,
+                    message=("direct DistributedTrainer(...) construction: "
+                             "use repro.run / repro.api.Session / "
+                             "repro.core.build_trainer so config "
+                             "reconciliation and framework wiring apply")))
+        return findings

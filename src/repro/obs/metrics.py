@@ -16,6 +16,7 @@ Naming convention (see ``docs/observability.md``): dot-separated
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Sequence, Tuple
 
 #: Default histogram buckets for loss-like values (upper bounds).
@@ -28,19 +29,28 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
 
 
 class Counter:
-    """Monotonically non-decreasing sum (ints or floats)."""
+    """Monotonically non-decreasing sum (ints or floats).
 
-    __slots__ = ("name", "value")
+    Increments are serialized with a lock: under the thread execution
+    backend, worker threads mirror CommMeter charges and store/fetch
+    counts into shared counters concurrently, and ``value += amount``
+    is a read-modify-write.  Sums commute, so locked concurrent
+    increments stay bit-identical to the serial order.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counter {self.name}: negative increment")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, object]:
         """Serializable snapshot."""
