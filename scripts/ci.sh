@@ -14,6 +14,9 @@ python -m pytest -x -q tests/test_backends.py tests/test_api.py
 echo "== repro.lint =="
 python -m repro.lint src/ --format json
 
+echo "== chaos smoke (fault tolerance) =="
+python -m repro.faults chaos --smoke
+
 echo "== bench smoke (schema gate) =="
 python scripts/bench.py --smoke
 

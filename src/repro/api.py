@@ -62,6 +62,7 @@ def _scale_preset(name: str):
         "quick": ExperimentScale.quick,
         "smoke": ExperimentScale.smoke,
         "paper": ExperimentScale.paper,
+        "chaos": ExperimentScale.chaos,
     }
     if name not in presets:
         raise ValueError(
@@ -74,7 +75,8 @@ def resolve_config(scale=None, **overrides) -> TrainConfig:
     """Reconcile an experiment scale with ``TrainConfig`` overrides.
 
     ``scale`` may be ``None`` (paper-default ``TrainConfig``), a preset
-    name (``"quick"`` | ``"smoke"`` | ``"paper"``), or any object
+    name (``"quick"`` | ``"smoke"`` | ``"chaos"`` | ``"paper"``), or any
+    object
     carrying the :data:`_SCALE_FIELDS` attributes (duck-typed so
     :class:`~repro.experiments.config.ExperimentScale` can delegate
     here without a circular import).  Explicit ``overrides`` always win
@@ -225,6 +227,30 @@ class Session:
         """Override any :class:`TrainConfig` field (alpha included)."""
         self._alpha = overrides.pop("alpha", self._alpha)
         self._overrides.update(overrides)
+        return self
+
+    def faults(self, plan=None, recovery: str = "drop",
+               **knobs) -> "Session":
+        """Attach a fault plan and recovery policy to the session.
+
+        ``plan`` may be a :class:`~repro.faults.FaultPlan`, its
+        ``to_dict`` form, or a bare float (compiled through
+        :meth:`FaultPlan.from_probability`, the legacy knob).
+        ``recovery`` is one of :data:`repro.faults.RECOVERY_POLICIES`;
+        ``**knobs`` forwards the remaining fault-tolerance fields
+        (``checkpoint_every``, ``fault_timeout_s``, ``max_retries``,
+        ``retry_backoff_s``).
+
+            session.faults(FaultPlan.random(4, epochs=10, seed=7),
+                           recovery="restore", checkpoint_every=2)
+        """
+        if isinstance(plan, (int, float)) and not isinstance(plan, bool):
+            from .faults import FaultPlan
+            plan = FaultPlan.from_probability(float(plan))
+        if plan is not None:
+            self._overrides["fault_plan"] = plan
+        self._overrides["recovery"] = recovery
+        self._overrides.update(knobs)
         return self
 
     # -- execution ------------------------------------------------------

@@ -37,6 +37,8 @@ ProcessBackend) when the platform cannot ``fork``.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import signal
 import threading
 import time
 import warnings
@@ -46,6 +48,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults.errors import (
+    ClusterDeadError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
 from .comm import CommRecord
 from .sync import average_gradients, average_models, sync_bytes_per_worker
 
@@ -91,6 +98,11 @@ class ExecutionBackend:
     #: True for backends that overlap worker compute; the trainer
     #: records ``pool.*`` metrics only for these.
     parallel = False
+    #: True when worker state lives outside the trainer process (the
+    #: fault layer then crashes workers for real and the backend owns
+    #: detection + respawn; in-process backends simulate crashes by
+    #: wiping the worker object instead).
+    child_owned_state = False
 
     def bind(self, trainer) -> None:
         """Attach to a trainer (fork pools, allocate executors)."""
@@ -159,6 +171,28 @@ class ExecutionBackend:
         """Multiply every worker optimizer's learning rate."""
         raise NotImplementedError
 
+    # -- fault-tolerance hooks (repro.faults) ---------------------------
+
+    def pending_batches(self) -> List[Optional[np.ndarray]]:
+        """This round's pending batch per worker (after
+        :meth:`poll_batches`, before :meth:`train_round`).  The fault
+        controller logs them for restore replay; only meaningful for
+        in-process backends, which hold the batches parent-side."""
+        raise NotImplementedError
+
+    def deactivate(self, worker: int) -> None:
+        """Permanently remove a worker from the pool (elastic
+        recovery): it draws no further batches and is skipped by every
+        broadcast."""
+        raise NotImplementedError
+
+    def inject_crash(self, worker: int) -> None:
+        """Make a planned crash real.  In-process backends no-op (the
+        controller wipes/restores the worker object itself); the
+        process backend SIGKILLs the child so detection and respawn
+        run against an actual death."""
+        raise NotImplementedError
+
 
 def make_backend(name: str, num_workers: int):
     """Build the named backend, degrading when it cannot help.
@@ -207,6 +241,7 @@ class SerialBackend(ExecutionBackend):
         self._iters: List = []
         self._pending: List[Optional[np.ndarray]] = []
         self._exhausted: List[bool] = []
+        self._dead: set = set()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -230,7 +265,8 @@ class SerialBackend(ExecutionBackend):
             for worker in trainer.workers:
                 worker.view.clear_feature_cache()
         self._iters = [iter(w.loader) for w in trainer.workers]
-        self._exhausted = [False] * len(trainer.workers)
+        self._exhausted = [i in self._dead
+                           for i in range(len(trainer.workers))]
         self._pending = [None] * len(trainer.workers)
 
     def all_exhausted(self) -> bool:
@@ -271,12 +307,12 @@ class SerialBackend(ExecutionBackend):
     # -- synchronization ------------------------------------------------
 
     def apply_gradients(self, participating: Sequence[bool],
-                        topology: str, obs=None) -> None:
+                        topology: str, obs=None, live=None) -> None:
         """In-process gradient all-reduce over the worker replicas."""
         trainer = self.trainer
         average_gradients([w.model for w in trainer.workers],
                           trainer.meters, participating,
-                          topology=topology, obs=obs)
+                          topology=topology, obs=obs, live=live)
 
     def step_all(self) -> None:
         """Step every optimizer (replicas share the averaged grad)."""
@@ -289,11 +325,13 @@ class SerialBackend(ExecutionBackend):
             if ok:
                 worker.optimizer.step()
 
-    def sync_models(self, topology: str, obs=None) -> None:
+    def sync_models(self, topology: str, obs=None, participating=None,
+                    live=None) -> None:
         """In-process FedAvg over the worker replicas."""
         trainer = self.trainer
         average_models([w.model for w in trainer.workers],
-                       trainer.meters, topology=topology, obs=obs)
+                       trainer.meters, topology=topology, obs=obs,
+                       participating=participating, live=live)
 
     # -- auxiliary hooks ------------------------------------------------
 
@@ -308,6 +346,24 @@ class SerialBackend(ExecutionBackend):
         """Decay every worker optimizer's learning rate in place."""
         for worker in self.trainer.workers:
             worker.optimizer.lr *= factor
+
+    # -- fault-tolerance hooks ------------------------------------------
+
+    def pending_batches(self) -> List[Optional[np.ndarray]]:
+        """The parent-side pending batches, by worker."""
+        return list(self._pending)
+
+    def deactivate(self, worker: int) -> None:
+        """Remove a worker: drop its pending batch, stop polling it."""
+        self._dead.add(worker)
+        if worker < len(self._pending):
+            self._pending[worker] = None
+        if worker < len(self._exhausted):
+            self._exhausted[worker] = True
+
+    def inject_crash(self, worker: int) -> None:
+        """In-process crashes are simulated by the fault controller
+        (state wipe + optional restore); nothing to kill here."""
 
 
 # ----------------------------------------------------------------------
@@ -405,6 +461,11 @@ class ProcessBackend(ExecutionBackend):
     ``("get_model",)``                → state dict
     ``("set_model", state)``          load synchronized weights
     ``("lr", factor)``                decay learning rate
+    ``("ffwd", n)``                   skip n batches (warm respawn)
+    ``("ping",)``                     liveness probe   → pong
+    ``("snapshot", epoch)``           → serialized worker checkpoint
+    ``("load_snapshot", payload)``    rehydrate from a checkpoint
+    ``("replay", cmds)``              re-execute silently → ack
     ``("stop",)``                     exit
 
     The parent performs every cross-worker reduction (gradient mean,
@@ -412,10 +473,35 @@ class ProcessBackend(ExecutionBackend):
     same float operation order as :func:`~repro.distributed.sync`, and
     absorbs each child's communication deltas into the parent-side
     meters — hence bit-identical metrics and byte-identical ledgers.
+
+    **Fault tolerance.**  Every pipe read runs through a guarded
+    receive: it polls with a short period, probes the child's liveness,
+    and gives up after ``TrainConfig.fault_timeout_s`` wall seconds —
+    a dead child raises :class:`WorkerDiedError`, a wedged one
+    :class:`WorkerTimeoutError`; bare ``conn.recv()`` never blocks the
+    parent forever.  Detection triggers the configured recovery:
+
+    * ``drop``    — respawn a warm child; the in-flight contribution is
+      lost.
+    * ``retry``   — respawn warm (survivor weights, loader
+      fast-forwarded) and requeue the in-flight batch on the new child.
+    * ``restore`` — respawn, rehydrate from the worker's last periodic
+      checkpoint (``TrainConfig.checkpoint_every`` epochs, serialized
+      child-side through :mod:`repro.nn.serialize`) and silently replay
+      the parent's command log since that checkpoint — deterministic
+      compute makes the rebuilt child bit-identical to the lost one.
+    * ``elastic`` — the worker is removed; collectives reweight over
+      the survivors.
     """
 
     name = "process"
     parallel = True
+    child_owned_state = True
+
+    #: Commands recorded in the per-worker replay log (restore policy).
+    _REPLAYABLE = frozenset((
+        "epoch", "draw", "train", "grads", "step", "get_model",
+        "set_model", "lr", "ffwd"))
 
     def __init__(self, num_workers: int) -> None:
         self.num_workers = int(num_workers)
@@ -426,6 +512,17 @@ class ProcessBackend(ExecutionBackend):
         self._exhausted: List[bool] = []
         self._round_grads: Dict[int, Dict[str, Optional[np.ndarray]]] = {}
         self._shm = None
+        self._mp_ctx = None
+        self._dead: set = set()
+        self._timeout_s = 30.0
+        self._logging = False
+        self._checkpoint_every = 1
+        self._epoch_index = -1
+        self._in_epoch = False
+        self._cmd_log: List[List[tuple]] = []
+        self._snapshots: List[Optional[bytes]] = []
+        self._draws: List[int] = []
+        self._recoveries: List[int] = []
 
     # -- lifecycle ------------------------------------------------------
 
@@ -436,35 +533,64 @@ class ProcessBackend(ExecutionBackend):
         n = len(trainer.workers)
         if n != self.num_workers:
             self.num_workers = n
+        config = trainer.config
+        self._timeout_s = float(config.fault_timeout_s)
+        self._checkpoint_every = int(config.checkpoint_every)
+        self._logging = (config.recovery == "restore"
+                         and self._checkpoint_every >= 1)
         self._shm = _share_features(trainer.partitioned.full)
-        ctx = mp.get_context("fork")
-        self._procs, self._conns = [], []
+        self._mp_ctx = mp.get_context("fork")
+        self._procs = [None] * n
+        self._conns = [None] * n
+        self._inbox = [[] for _ in range(n)]
         for part in range(n):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_child_main, args=(trainer, part, child_conn),
-                daemon=True, name=f"repro-worker-{part}")
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._fork_child(part)
         self._exhausted = [True] * n
         self._has_pending = [False] * n
+        self._dead = set()
+        self._epoch_index = -1
+        self._in_epoch = False
+        self._cmd_log = [[] for _ in range(n)]
+        self._snapshots = [None] * n
+        self._draws = [0] * n
+        self._recoveries = [0] * n
+
+    def _fork_child(self, part: int) -> None:
+        """Fork (or re-fork) the child process owning worker ``part``."""
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
+        proc = self._mp_ctx.Process(
+            target=_child_main, args=(self.trainer, part, child_conn),
+            daemon=True, name=f"repro-worker-{part}")
+        proc.start()
+        child_conn.close()
+        self._procs[part] = proc
+        self._conns[part] = parent_conn
+        # Replies buffered from the previous incarnation's pipe are
+        # stale once the child is re-forked.
+        self._inbox[part] = []
 
     def shutdown(self) -> None:
         """Stop children and release the shared-memory segment name."""
-        for conn in self._conns:
+        for i, conn in enumerate(self._conns):
+            if conn is None or i in self._dead:
+                continue
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
         self._procs, self._conns = [], []
         if self._shm is not None:
             try:
@@ -474,14 +600,318 @@ class ProcessBackend(ExecutionBackend):
             self._shm = None
         self.trainer = None
 
+    # -- guarded pipe I/O -----------------------------------------------
+
+    def _controller(self):
+        """The run's fault controller, when one is attached."""
+        return getattr(self.trainer, "fault_controller", None)
+
+    def _count(self, name: str, value: float = 1) -> None:
+        """Mirror a backend fault event onto the controller counters."""
+        controller = self._controller()
+        if controller is not None:
+            controller.count(name, value)
+
+    def _log_cmd(self, i: int, msg: tuple) -> None:
+        """Record a delivered command for restore replay."""
+        if self._logging and msg[0] in self._REPLAYABLE:
+            self._cmd_log[i].append(msg)
+
+    def _raw_send(self, i: int, msg: tuple) -> None:
+        """Send one command; a broken pipe means the child died."""
+        try:
+            self._conns[i].send(msg)
+        except (BrokenPipeError, OSError) as err:
+            raise WorkerDiedError(i, f"send {msg[0]!r}") from err
+
+    def _raw_recv(self, i: int, context: str):
+        """Receive with liveness probing and a wall-clock deadline.
+
+        Never blocks indefinitely: polls the pipe with a short period,
+        checks the child process between polls, and raises
+        :class:`WorkerDiedError` on death / :class:`WorkerTimeoutError`
+        once ``fault_timeout_s`` elapses.  This (and ``_raw_send``) is
+        the only sanctioned direct pipe access in the backend.
+        """
+        if self._inbox[i]:
+            return self._inbox[i].pop(0)
+        return self._pipe_recv(i, context)
+
+    def _pipe_recv(self, i: int, context: str):
+        """The actual guarded pipe read behind :meth:`_raw_recv`."""
+        conn = self._conns[i]
+        proc = self._procs[i]
+        deadline = time.monotonic() + self._timeout_s
+        while True:
+            if conn.poll(0.05):  # lint: disable=R106
+                try:
+                    return conn.recv()  # lint: disable=R106
+                except (EOFError, ConnectionResetError, OSError) as err:
+                    raise WorkerDiedError(i, context) from err
+            if not proc.is_alive():
+                # One final drain: the child may have answered and then
+                # exited between our poll and the liveness probe.
+                if conn.poll(0):
+                    continue
+                raise WorkerDiedError(i, context)
+            if time.monotonic() > deadline:
+                raise WorkerTimeoutError(i, context, self._timeout_s)
+
+    def _recv_tagged(self, i: int, want: str, context: str):
+        """Receive the next reply tagged ``want``, buffering any
+        pipelined replies that belong to an earlier request (recovery
+        can interleave with in-flight round traffic)."""
+        inbox = self._inbox[i]
+        for k, reply in enumerate(inbox):
+            if reply[0] == want:
+                return inbox.pop(k)
+        while True:
+            reply = self._pipe_recv(i, context)
+            if reply[0] == want:
+                return reply
+            inbox.append(reply)
+
+    def _send(self, i: int, msg: tuple, context: str) -> None:
+        """Deliver a one-way command, recovering the worker if the
+        send itself reveals a death."""
+        try:
+            self._raw_send(i, msg)
+        except WorkerDiedError:
+            if self._recover(i, msg, context, expect_reply=False) is None \
+                    and i in self._dead:
+                return
+        self._log_cmd(i, msg)
+
+    def _recv(self, i: int, inflight: tuple, context: str):
+        """Receive ``inflight``'s response, running death/timeout
+        recovery when the child fails mid-request.  Returns ``None``
+        when the worker was removed (elastic) or its contribution
+        dropped."""
+        try:
+            return self._raw_recv(i, context)
+        except (WorkerDiedError, WorkerTimeoutError):
+            return self._recover(i, inflight, context, expect_reply=True)
+
+    # -- death recovery --------------------------------------------------
+
+    def _recover(self, i: int, inflight: tuple, context: str,
+                 expect_reply: bool):
+        """A child died (or timed out) with ``inflight`` outstanding.
+
+        Applies ``TrainConfig.recovery``: remove the worker (elastic),
+        or respawn it — warm from a survivor (drop/retry) or restored
+        from its last checkpoint plus a silent replay of the command
+        log (restore) — then re-issues ``inflight`` and returns its
+        response (``None`` for one-way commands or lost work).
+        """
+        trainer = self.trainer
+        config = trainer.config
+        policy = config.recovery
+        controller = self._controller()
+        self._count("child_deaths")
+        self._reap(i)
+        live_others = [j for j in range(self.num_workers)
+                       if j != i and j not in self._dead]
+        if policy == "elastic":
+            if live_others:
+                had_pending = self._has_pending[i]
+                self.deactivate(i)
+                if controller is not None:
+                    controller.mark_dead(i, reason=context)
+                    if had_pending:
+                        controller.record_dropped()
+                return None
+            # Never lose the last worker: fall through to a warm
+            # respawn so the run can finish.
+            self._count("spared_last_worker")
+        self._recoveries[i] += 1
+        if (policy == "retry"
+                and self._recoveries[i] > max(1, config.max_retries)):
+            if live_others:
+                self.deactivate(i)
+                if controller is not None:
+                    controller.mark_dead(i, reason="retry budget")
+                return None
+            raise ClusterDeadError(
+                f"worker {i} exceeded its retry budget and no live "
+                "worker remains")
+        self._count("respawns")
+        if policy == "restore" and self._snapshots[i] is not None:
+            self._respawn_restore(i, inflight)
+        else:
+            self._respawn_warm(i, inflight, live_others,
+                               requeue=(policy not in ("drop",)))
+        if not expect_reply:
+            self._raw_send(i, inflight)
+            return None
+        if inflight[0] == "train":
+            if policy == "drop" or not self._has_pending[i]:
+                # The contribution is lost; the worker lives on.
+                if controller is not None:
+                    controller.record_dropped()
+                return ("result", None)
+        self._raw_send(i, inflight)
+        return self._raw_recv(i, context)
+
+    def _reap(self, i: int) -> None:
+        """Make sure a failed child is actually dead and reaped."""
+        proc = self._procs[i]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        elif proc is not None:
+            proc.join(timeout=1.0)
+        conn = self._conns[i]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _respawn_restore(self, i: int, inflight: tuple) -> None:
+        """Fork a fresh child, rehydrate it from the last checkpoint
+        and replay the logged commands since — minus the in-flight one,
+        which the caller re-issues for real."""
+        self._fork_child(i)
+        log = self._cmd_log[i]
+        replay = list(log)
+        if replay and replay[-1] == inflight:
+            replay = replay[:-1]
+        self._raw_send(i, ("load_snapshot", self._snapshots[i]))
+        self._raw_send(i, ("replay", replay))
+        tag, replayed = self._raw_recv(i, "replay")
+        assert tag == "replayed"
+        self._count("restores")
+        self._count("replayed_commands", replayed)
+
+    def _respawn_warm(self, i: int, inflight: tuple,
+                      live_others: List[int], requeue: bool) -> None:
+        """Fork a fresh child and warm it up: copy a survivor's model,
+        re-enter the epoch and fast-forward the loader past the batches
+        the dead child already consumed.  No bit-identity claim — the
+        respawned worker continues on a fresh RNG stream."""
+        self._fork_child(i)
+        if live_others:
+            src = live_others[0]
+            self._raw_send(src, ("get_model",))
+            tag, state = self._recv_tagged(src, "model",
+                                           "get_model (warm respawn)")
+            self._raw_send(i, ("set_model", state))
+        if self._in_epoch and not self._exhausted[i]:
+            self._raw_send(i, ("epoch",))
+            consumed = self._draws[i]
+            if inflight[0] == "draw":
+                # The in-flight draw is re-sent by the caller; it must
+                # not be skipped here.
+                consumed = max(consumed - 1, 0)
+            if requeue and self._has_pending[i]:
+                self._raw_send(i, ("ffwd", max(consumed - 1, 0)))
+                self._raw_send(i, ("draw",))
+                tag, has = self._raw_recv(i, "draw (requeue)")
+                assert tag == "drawn"
+                self._has_pending[i] = bool(has)
+                if not has:
+                    self._exhausted[i] = True
+                else:
+                    self._count("requeued_batches")
+            else:
+                self._raw_send(i, ("ffwd", consumed))
+                self._has_pending[i] = False
+
+    # -- fault-tolerance hooks ------------------------------------------
+
+    def pending_batches(self) -> List[Optional[np.ndarray]]:
+        """Batches live child-side; the parent has nothing to log."""
+        return [None] * self.num_workers
+
+    def deactivate(self, worker: int) -> None:
+        """Remove a worker for good: stop polling it, end its child."""
+        if worker in self._dead:
+            return
+        self._dead.add(worker)
+        self._exhausted[worker] = True
+        self._has_pending[worker] = False
+        self._round_grads.pop(worker, None)
+        conn = self._conns[worker]
+        if conn is not None:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        proc = self._procs[worker]
+        if proc is not None and proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+
+    def inject_crash(self, worker: int) -> None:
+        """SIGKILL the child — a real, unannounced death; detection
+        and recovery run through the guarded receive path."""
+        proc = self._procs[worker]
+        if proc is None or not proc.is_alive():
+            return
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.join(timeout=2.0)
+
+    def heartbeat(self) -> List[bool]:
+        """Probe every active child with a ping; False = unresponsive."""
+        alive = []
+        for i in range(self.num_workers):
+            if i in self._dead:
+                alive.append(False)
+                continue
+            try:
+                self._raw_send(i, ("ping",))
+                tag, _ = self._raw_recv(i, "ping")
+                alive.append(tag == "pong")
+            except (WorkerDiedError, WorkerTimeoutError):
+                alive.append(False)
+        return alive
+
+    def _active(self) -> List[int]:
+        """Worker indices not removed by elastic recovery."""
+        return [i for i in range(self.num_workers) if i not in self._dead]
+
     # -- epoch / round --------------------------------------------------
 
     def begin_epoch(self) -> None:
-        """Tell every child to reset its cache and iterator."""
-        for conn in self._conns:
-            conn.send(("epoch",))
-        self._exhausted = [False] * self.num_workers
+        """Checkpoint (restore policy, on cadence), then tell every
+        active child to reset its cache and iterator."""
+        self._epoch_index += 1
+        if (self._logging
+                and self._epoch_index % self._checkpoint_every == 0):
+            self._take_snapshots()
+        for i in self._active():
+            self._send(i, ("epoch",), "epoch")
+        self._exhausted = [i in self._dead
+                           for i in range(self.num_workers)]
         self._has_pending = [False] * self.num_workers
+        self._draws = [0] * self.num_workers
+        self._in_epoch = True
+
+    def _take_snapshots(self) -> None:
+        """Pull a serialized checkpoint from every active child and
+        truncate its replay log — the restore point."""
+        for i in self._active():
+            msg = ("snapshot", self._epoch_index)
+            self._send(i, msg, "snapshot")
+            if i in self._dead:
+                continue
+            reply = self._recv(i, msg, "snapshot")
+            if reply is None:
+                continue
+            tag, payload = reply
+            assert tag == "snapshot"
+            self._snapshots[i] = payload
+            self._cmd_log[i] = []
+            self._count("checkpoint_bytes", len(payload))
+        self._count("checkpoints")
 
     def all_exhausted(self) -> bool:
         """True once every child reported an empty iterator."""
@@ -489,11 +919,20 @@ class ProcessBackend(ExecutionBackend):
 
     def poll_batches(self) -> List[bool]:
         """Ask all live children to draw; collect flags in order."""
-        live = [i for i in range(self.num_workers) if not self._exhausted[i]]
+        live = [i for i in self._active() if not self._exhausted[i]]
         for i in live:
-            self._conns[i].send(("draw",))
+            # Count the draw before sending so recovery's fast-forward
+            # arithmetic sees the in-flight draw on both the send and
+            # the receive failure paths.
+            self._draws[i] += 1
+            self._send(i, ("draw",), "draw")
         for i in live:
-            tag, has_batch = self._conns[i].recv()
+            if i in self._dead:
+                continue
+            reply = self._recv(i, ("draw",), "draw")
+            if reply is None:
+                continue
+            tag, has_batch = reply
             assert tag == "drawn"
             self._has_pending[i] = bool(has_batch)
             if not has_batch:
@@ -507,18 +946,24 @@ class ProcessBackend(ExecutionBackend):
         losses, edge counts, grads and comm deltas in worker order."""
         trainer = self.trainer
         want_grads = trainer.config.sync == "grad"
-        pending = [i for i in range(self.num_workers)
-                   if self._has_pending[i]]
+        pending = [i for i in self._active() if self._has_pending[i]]
+        inflight = {i: ("train", bool(participate[i]), want_grads)
+                    for i in pending}
         started = time.perf_counter()
         for i in pending:
-            self._conns[i].send(("train", bool(participate[i]), want_grads))
+            self._send(i, inflight[i], "train")
         out: List[Optional[RoundResult]] = [None] * len(participate)
         self._round_grads = {}
         tasks = 0
         for i in pending:
-            tag, payload = self._conns[i].recv()
-            assert tag == "result"
+            if i in self._dead:
+                continue
+            reply = self._recv(i, inflight[i], "train")
             self._has_pending[i] = False
+            if reply is None:
+                continue
+            tag, payload = reply
+            assert tag == "result"
             if payload is None:
                 continue
             loss, edges, delta, grads = payload
@@ -537,9 +982,10 @@ class ProcessBackend(ExecutionBackend):
     # -- synchronization ------------------------------------------------
 
     def apply_gradients(self, participating: Sequence[bool],
-                        topology: str, obs=None) -> None:
+                        topology: str, obs=None, live=None) -> None:
         """Parent-side gradient mean over participants' returned grads;
-        every child receives the mean (and will step on ``step_all``)."""
+        every live child receives the mean (and steps on
+        ``step_all``)."""
         active = [self._round_grads[i]
                   for i, ok in enumerate(participating)
                   if ok and i in self._round_grads]
@@ -555,83 +1001,110 @@ class ProcessBackend(ExecutionBackend):
                 averaged[name] = sum(grads) / len(active)
             else:
                 averaged[name] = None
-        for conn in self._conns:
-            conn.send(("grads", averaged, False))
+        for i in self._active():
+            self._send(i, ("grads", averaged, False), "grads")
         self._round_grads = {}
         self._charge_sync(topology)
 
     def step_all(self) -> None:
-        """Every child steps its optimizer."""
-        for conn in self._conns:
-            conn.send(("step",))
+        """Every live child steps its optimizer."""
+        for i in self._active():
+            self._send(i, ("step",), "step")
 
     def step_participants(self, participating: Sequence[bool]) -> None:
         """Only the round's participants step their optimizers."""
-        for conn, ok in zip(self._conns, participating):
-            if ok:
-                conn.send(("step",))
+        for i in self._active():
+            if participating[i]:
+                self._send(i, ("step",), "step")
 
-    def sync_models(self, topology: str, obs=None) -> None:
-        """Parent-side FedAvg: pull every child's weights, average in
-        worker order, push the mean back to all children."""
+    def sync_models(self, topology: str, obs=None, participating=None,
+                    live=None) -> None:
+        """Parent-side FedAvg: pull live children's weights, average
+        participants in worker order, push the mean back to every live
+        child."""
+        active = self._active()
+        if participating is None:
+            mask = {i: True for i in active}
+        else:
+            mask = {i: bool(participating[i]) for i in active}
         if obs is not None:
             obs.counter("sync.rounds").inc(1)
-            obs.counter("sync.participants").inc(self.num_workers)
+            obs.counter("sync.participants").inc(
+                sum(1 for i in active if mask[i]))
         states = self._gather_states()
+        included = [sd for i, sd in states if mask[i]]
+        if not included:
+            return
         averaged = {
-            name: np.mean([sd[name] for sd in states], axis=0)
-            for name in states[0]
+            name: np.mean([sd[name] for sd in included], axis=0)
+            for name in included[0]
         }
-        for conn in self._conns:
-            conn.send(("set_model", averaged))
+        for i in self._active():
+            self._send(i, ("set_model", averaged), "set_model")
         self._charge_sync(topology)
 
     def _charge_sync(self, topology: str) -> None:
-        """Charge one sync round to every parent-side meter (same
+        """Charge one sync round to every live parent-side meter (same
         formula as the in-process ``_charge_sync``)."""
         trainer = self.trainer
+        active = self._active()
         per_worker = sync_bytes_per_worker(
             trainer.workers[0].model.parameter_nbytes(),
-            self.num_workers, topology)
-        for meter in trainer.meters:
-            meter.charge_sync(per_worker)
+            len(active), topology)
+        for i in active:
+            trainer.meters[i].charge_sync(per_worker)
 
     # -- auxiliary hooks ------------------------------------------------
 
-    def _gather_states(self) -> List[Dict[str, np.ndarray]]:
-        """All children's state dicts, in worker order."""
-        for conn in self._conns:
-            conn.send(("get_model",))
+    def _gather_states(self) -> List[tuple]:
+        """Live children's ``(worker, state_dict)``, in worker order."""
+        active = self._active()
+        for i in active:
+            self._send(i, ("get_model",), "get_model")
         states = []
-        for conn in self._conns:
-            tag, state = conn.recv()
+        for i in active:
+            if i in self._dead:
+                continue
+            reply = self._recv(i, ("get_model",), "get_model")
+            if reply is None:
+                continue
+            tag, state = reply
             assert tag == "model"
-            states.append(state)
+            states.append((i, state))
         return states
 
     def refresh_eval_model(self) -> None:
-        """Load child 0's current weights into the parent replica the
-        evaluator reads."""
-        self._conns[0].send(("get_model",))
-        tag, state = self._conns[0].recv()
+        """Load the first live child's weights into the parent replica
+        the evaluator reads."""
+        active = self._active()
+        if not active:
+            raise ClusterDeadError("no live worker to evaluate")
+        i = active[0]
+        self._send(i, ("get_model",), "get_model")
+        reply = self._recv(i, ("get_model",), "get_model")
+        if reply is None:
+            self.refresh_eval_model()
+            return
+        tag, state = reply
         assert tag == "model"
         self.trainer.workers[0].model.load_state_dict(state)
 
     def run_correction(self, hook) -> None:
-        """Pull all replicas to the parent, run the server-side hook,
-        push the corrected weights back to every child."""
+        """Pull live replicas to the parent, run the server-side hook,
+        push the corrected weights back to every live child."""
         trainer = self.trainer
         models = [w.model for w in trainer.workers]
-        for model, state in zip(models, self._gather_states()):
-            model.load_state_dict(state)
+        for i, state in self._gather_states():
+            models[i].load_state_dict(state)
         hook(models)
-        for conn, model in zip(self._conns, models):
-            conn.send(("set_model", model.state_dict()))
+        for i in self._active():
+            self._send(i, ("set_model", models[i].state_dict()),
+                       "set_model")
 
     def scale_lr(self, factor: float) -> None:
-        """Broadcast the learning-rate decay to every child."""
-        for conn in self._conns:
-            conn.send(("lr", float(factor)))
+        """Broadcast the learning-rate decay to every live child."""
+        for i in self._active():
+            self._send(i, ("lr", float(factor)), "lr")
 
 
 def _share_features(graph):
@@ -662,7 +1135,16 @@ def _child_main(trainer, part: int, conn) -> None:
     executes parent commands until ``stop``.  Observability is detached
     child-side — spans/metrics belong to the parent; the child reports
     raw deltas instead.
+
+    Commands are dispatched through ``execute`` so the fault layer's
+    ``("replay", cmds)`` can re-run a logged command stream *silently*
+    (state advances, nothing is sent) after ``("load_snapshot", ...)``
+    rehydrates the worker — deterministic compute then reproduces the
+    dead child's state bit for bit.
     """
+    from ..faults.snapshot import (
+        WorkerSnapshot, restore_worker, snapshot_worker)
+
     worker = trainer.workers[part]
     meter = trainer.meters[part]
     worker.obs = None
@@ -672,58 +1154,81 @@ def _child_main(trainer, part: int, conn) -> None:
     if trainer.remote_store is not None:
         inner = getattr(trainer.remote_store, "_store", trainer.remote_store)
         inner.obs = None
-    iterator = None
-    pending = None
+    state = {"iterator": None, "pending": None}
+
+    def execute(msg: tuple):
+        """Run one command; return ``(tag, payload)`` or ``None``."""
+        cmd = msg[0]
+        if cmd == "epoch":
+            if trainer.config.cache_remote_features:
+                worker.view.clear_feature_cache()
+            state["iterator"] = iter(worker.loader)
+            state["pending"] = None
+        elif cmd == "draw":
+            state["pending"] = next(state["iterator"], None)
+            return ("drawn", state["pending"] is not None)
+        elif cmd == "ffwd":
+            for _ in range(msg[1]):
+                next(state["iterator"], None)
+        elif cmd == "train":
+            _, ok, want_grads = msg
+            pending = state["pending"]
+            state["pending"] = None
+            if pending is None or not ok:
+                return ("result", None)
+            before = (meter.current.feature_bytes,
+                      meter.current.structure_bytes,
+                      meter.current.sync_bytes)
+            loss, edges = worker._run_batch(pending, None)
+            delta = (meter.current.feature_bytes - before[0],
+                     meter.current.structure_bytes - before[1],
+                     meter.current.sync_bytes - before[2])
+            grads = None
+            if want_grads:
+                grads = {name: p.grad for name, p
+                         in worker.model.named_parameters()}
+            return ("result", (loss, edges, delta, grads))
+        elif cmd == "grads":
+            _, averaged, do_step = msg
+            for name, p in worker.model.named_parameters():
+                g = averaged.get(name)
+                p.grad = None if g is None else g.copy()
+            if do_step:
+                worker.optimizer.step()
+        elif cmd == "step":
+            worker.optimizer.step()
+        elif cmd == "get_model":
+            return ("model", worker.model.state_dict())
+        elif cmd == "set_model":
+            worker.model.load_state_dict(msg[1])
+        elif cmd == "lr":
+            worker.optimizer.lr *= msg[1]
+        elif cmd == "ping":
+            return ("pong", part)
+        elif cmd == "snapshot":
+            snap = snapshot_worker(worker, int(msg[1]), 0)
+            return ("snapshot", snap.payload)
+        elif cmd == "load_snapshot":
+            restore_worker(worker, WorkerSnapshot(
+                payload=msg[1], epoch=0, round=0))
+        elif cmd == "replay":
+            for sub in msg[1]:
+                execute(sub)  # silent: responses are discarded
+            return ("replayed", len(msg[1]))
+        else:  # pragma: no cover - protocol error
+            raise RuntimeError(f"unknown backend command {cmd!r}")
+        return None
+
     try:
         while True:
-            msg = conn.recv()
-            cmd = msg[0]
-            if cmd == "stop":
+            # Child side: blocking on the parent is safe — parent death
+            # closes the pipe and the EOFError below ends the loop.
+            msg = conn.recv()  # lint: disable=R106
+            if msg[0] == "stop":
                 break
-            elif cmd == "epoch":
-                if trainer.config.cache_remote_features:
-                    worker.view.clear_feature_cache()
-                iterator = iter(worker.loader)
-                pending = None
-            elif cmd == "draw":
-                pending = next(iterator, None)
-                conn.send(("drawn", pending is not None))
-            elif cmd == "train":
-                _, ok, want_grads = msg
-                if pending is None or not ok:
-                    pending = None
-                    conn.send(("result", None))
-                    continue
-                before = (meter.current.feature_bytes,
-                          meter.current.structure_bytes,
-                          meter.current.sync_bytes)
-                loss, edges = worker._run_batch(pending, None)
-                pending = None
-                delta = (meter.current.feature_bytes - before[0],
-                         meter.current.structure_bytes - before[1],
-                         meter.current.sync_bytes - before[2])
-                grads = None
-                if want_grads:
-                    grads = {name: p.grad for name, p
-                             in worker.model.named_parameters()}
-                conn.send(("result", (loss, edges, delta, grads)))
-            elif cmd == "grads":
-                _, averaged, do_step = msg
-                for name, p in worker.model.named_parameters():
-                    g = averaged.get(name)
-                    p.grad = None if g is None else g.copy()
-                if do_step:
-                    worker.optimizer.step()
-            elif cmd == "step":
-                worker.optimizer.step()
-            elif cmd == "get_model":
-                conn.send(("model", worker.model.state_dict()))
-            elif cmd == "set_model":
-                worker.model.load_state_dict(msg[1])
-            elif cmd == "lr":
-                worker.optimizer.lr *= msg[1]
-            else:  # pragma: no cover - protocol error
-                raise RuntimeError(f"unknown backend command {cmd!r}")
+            reply = execute(msg)
+            if reply is not None:
+                conn.send(reply)
     except (EOFError, KeyboardInterrupt):  # pragma: no cover
         pass
     finally:

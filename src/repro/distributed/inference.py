@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..rng import ensure_rng
+from ..faults.errors import ClusterDeadError, WorkerDiedError, WorkerTimeoutError
 from ..nn.models import LinkPredictionModel
 from ..partition.partitioned import PartitionedGraph
 from ..sampling.neighbor import NeighborSampler
@@ -47,6 +48,7 @@ class InferenceResult:
     scores: np.ndarray
     comm: CommRecord
     pairs_per_worker: List[int]
+    rerouted_pairs: int = 0
 
     def summary(self) -> str:
         """Human-readable report of the scoring pass (routing + comm
@@ -61,6 +63,9 @@ class InferenceResult:
             f"  features:  {total.feature_bytes / 2**20:.3f} MB",
             f"  structure: {total.structure_bytes / 2**20:.3f} MB",
         ]
+        if self.rerouted_pairs:
+            lines.insert(2, f"pairs rerouted:   {self.rerouted_pairs} "
+                            f"(owner shard down)")
         return "\n".join(lines)
 
 
@@ -94,6 +99,7 @@ class DistributedScorer:
         batch_size: int = 1024,
         rng: Optional[np.random.Generator] = None,
         backend: str = "serial",
+        timeout_s: float = 30.0,
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ValueError(
@@ -110,6 +116,8 @@ class DistributedScorer:
         self.batch_size = batch_size
         self.rng = ensure_rng(rng)
         self.backend = backend
+        self.timeout_s = float(timeout_s)
+        self._down: set = set()
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         self.views = [
             WorkerGraphView(partitioned, part, remote=remote,
@@ -117,10 +125,58 @@ class DistributedScorer:
             for part in range(partitioned.num_parts)
         ]
 
+    def mark_down(self, part: int) -> None:
+        """Take shard ``part`` out of the routing table.
+
+        Pairs owned by a downed shard are rerouted — destination
+        endpoint's owner first, else the first live shard — and pay the
+        extra remote traffic of scoring through a non-owner's view.
+        """
+        if not 0 <= part < self.partitioned.num_parts:
+            raise ValueError(f"no shard {part} in a "
+                             f"{self.partitioned.num_parts}-shard cluster")
+        self._down.add(part)
+        if len(self._down) == self.partitioned.num_parts:
+            self._down.discard(part)
+            raise ClusterDeadError(
+                "cannot mark the last live shard down; the scorer needs "
+                "at least one shard to route to")
+
+    def mark_up(self, part: int) -> None:
+        """Return a previously downed shard to the routing table."""
+        self._down.discard(part)
+
+    @property
+    def live_shards(self) -> List[int]:
+        """Shards currently accepting queries, in worker order."""
+        return [p for p in range(self.partitioned.num_parts)
+                if p not in self._down]
+
+    def _route(self, pairs: np.ndarray) -> tuple:
+        """Owner routing with down-shard fallback.
+
+        Returns ``(owners, rerouted)``: the shard each pair is served
+        from, and how many pairs could not use their true owner.
+        """
+        owners = self.partitioned.assignment[pairs[:, 0]].copy()
+        if not self._down:
+            return owners, 0
+        down = np.isin(owners, sorted(self._down))
+        rerouted = int(down.sum())
+        if rerouted:
+            # Fallback 1: the destination endpoint's owner.
+            dst_owners = self.partitioned.assignment[pairs[:, 1]]
+            owners[down] = dst_owners[down]
+            # Fallback 2: the first live shard.
+            still_down = np.isin(owners, sorted(self._down))
+            owners[still_down] = self.live_shards[0]
+        return owners, rerouted
+
     def score(self, pairs: np.ndarray) -> InferenceResult:
-        """Score pairs; each is routed to its source endpoint's owner."""
+        """Score pairs; each is routed to its source endpoint's owner
+        (or a fallback shard when the owner is marked down)."""
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-        owners = self.partitioned.assignment[pairs[:, 0]]
+        owners, rerouted = self._route(pairs)
         scores = np.empty(pairs.shape[0], dtype=np.float64)
         counts: List[int] = []
         # Pre-draw every shard's sampler seed in worker order so the
@@ -148,7 +204,8 @@ class DistributedScorer:
         for meter in self.meters:
             comm += meter.total()
         return InferenceResult(scores=scores, comm=comm,
-                               pairs_per_worker=counts)
+                               pairs_per_worker=counts,
+                               rerouted_pairs=rerouted)
 
     # ------------------------------------------------------------------
 
@@ -204,8 +261,24 @@ class DistributedScorer:
             procs.append(proc)
             conns.append(parent_conn)
         try:
-            for (part, sel, _seed), conn in zip(shards, conns):
-                shard_scores, delta = conn.recv()
+            for (part, sel, seed), conn, proc in zip(shards, conns, procs):
+                try:
+                    reply = self._guarded_recv(part, conn, proc)
+                except (WorkerDiedError, WorkerTimeoutError) as exc:
+                    # Owner shard is gone mid-query: mark it down and
+                    # re-score its pairs through a surviving shard's
+                    # view (same sampler seed, remote fetches charged
+                    # to the fallback worker).
+                    warnings.warn(
+                        f"scoring shard {part} failed ({exc}); falling "
+                        f"back to a live shard", RuntimeWarning,
+                        stacklevel=2)
+                    self.mark_down(part)
+                    fallback = self.live_shards[0]
+                    scores[sel] = self._score_shard(fallback, sel, pairs,
+                                                    seed)
+                    continue
+                shard_scores, delta = reply
                 scores[sel] = shard_scores
                 self.meters[part].absorb(
                     CommRecord(feature_bytes=delta[0],
@@ -219,6 +292,34 @@ class DistributedScorer:
                 if proc.is_alive():  # pragma: no cover - hung child
                     proc.terminate()
                     proc.join(timeout=1.0)
+
+    def _guarded_recv(self, part: int, conn, proc):
+        """Read a scoring child's reply without risking a parent hang.
+
+        Polls in short slices, probing child liveness between slices,
+        and gives up after ``timeout_s`` — the only sanctioned direct
+        pipe read on the inference path (mirrors the training
+        backend's guarded receive).
+        """
+        import time
+
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if conn.poll(0.05):  # lint: disable=R106
+                try:
+                    return conn.recv()  # lint: disable=R106
+                except (EOFError, OSError) as exc:
+                    raise WorkerDiedError(part, "score") from exc
+            if not proc.is_alive():
+                # Drain anything flushed between the poll and death.
+                if conn.poll(0):  # lint: disable=R106
+                    try:
+                        return conn.recv()  # lint: disable=R106
+                    except (EOFError, OSError) as exc:
+                        raise WorkerDiedError(part, "score") from exc
+                raise WorkerDiedError(part, "score")
+            if time.monotonic() > deadline:
+                raise WorkerTimeoutError(part, "score", self.timeout_s)
 
     def comm_summary(self) -> Dict[str, int]:
         """Cumulative communication over every ``score`` call so far."""

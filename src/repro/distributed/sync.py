@@ -28,6 +28,7 @@ def average_gradients(
     participating: Optional[Sequence[bool]] = None,
     topology: str = "allreduce",
     obs=None,
+    live: Optional[Sequence[bool]] = None,
 ) -> None:
     """All-reduce gradients in place (Algorithm 1 line 29).
 
@@ -36,6 +37,10 @@ def average_gradients(
     After the call every model holds the same averaged gradient, so
     identical optimizer states take identical steps.  ``obs``, when
     given, counts the round (byte metrics mirror through the meters).
+
+    ``live`` marks workers permanently removed by the fault layer's
+    elastic policy: the cost model sizes the collective to the live
+    cluster and dead workers are neither updated nor charged.
     """
     if obs is not None:
         obs.counter("sync.rounds").inc(1)
@@ -43,6 +48,8 @@ def average_gradients(
             sum(participating) if participating is not None else len(models))
     if participating is None:
         participating = [True] * len(models)
+    if live is None:
+        live = [True] * len(models)
     active = [m for m, ok in zip(models, participating) if ok]
     if not active:
         return
@@ -54,16 +61,17 @@ def average_gradients(
         mean = sum(grads) / len(active)
         for p in group:
             p.grad = mean.copy()
-    # Everyone, participant or not, receives the averaged gradient.
+    # Every live worker, participant or not, receives the averaged
+    # gradient.
     reference = active[0]
     state = {name: p.grad for name, p in reference.named_parameters()}
-    for model, ok in zip(models, participating):
-        if ok or model is reference:
+    for model, ok, alive in zip(models, participating, live):
+        if ok or model is reference or not alive:
             continue
         for name, p in model.named_parameters():
             g = state[name]
             p.grad = None if g is None else g.copy()
-    _charge_sync(models, meters, topology)
+    _charge_sync(models, meters, topology, live)
 
 
 def average_models(
@@ -71,22 +79,36 @@ def average_models(
     meters: Optional[Sequence[CommMeter]] = None,
     topology: str = "allreduce",
     obs=None,
+    participating: Optional[Sequence[bool]] = None,
+    live: Optional[Sequence[bool]] = None,
 ) -> None:
     """FedAvg-style model averaging [40]: every worker's weights are
-    replaced by the element-wise mean."""
+    replaced by the element-wise mean.
+
+    ``participating`` restricts the mean to the workers whose sync
+    messages arrived (partial averaging, PSGD-PA style); the result is
+    still loaded into every model so a non-participant rejoins the
+    consensus rather than drifting.  ``live`` sizes the collective's
+    cost model to the surviving cluster under elastic recovery.
+    """
     if not models:
+        return
+    if participating is None:
+        participating = [True] * len(models)
+    if not any(participating):
         return
     if obs is not None:
         obs.counter("sync.rounds").inc(1)
-        obs.counter("sync.participants").inc(len(models))
-    state_dicts = [m.state_dict() for m in models]
+        obs.counter("sync.participants").inc(sum(participating))
+    state_dicts = [m.state_dict() for m, ok in zip(models, participating)
+                   if ok]
     averaged = {
         name: np.mean([sd[name] for sd in state_dicts], axis=0)
         for name in state_dicts[0]
     }
     for m in models:
         m.load_state_dict(averaged)
-    _charge_sync(models, meters, topology)
+    _charge_sync(models, meters, topology, live)
 
 
 def broadcast_model(source: LinkPredictionModel,
@@ -120,11 +142,16 @@ def sync_bytes_per_worker(param_nbytes: int, num_workers: int,
 
 def _charge_sync(models: Sequence[LinkPredictionModel],
                  meters: Optional[Sequence[CommMeter]],
-                 topology: str = "allreduce") -> None:
+                 topology: str = "allreduce",
+                 live: Optional[Sequence[bool]] = None) -> None:
     if meters is None or not models:
         return
+    cluster = sum(live) if live is not None else len(models)
     per_worker = sync_bytes_per_worker(models[0].parameter_nbytes(),
-                                       len(models), topology)
-    for meter in meters:
-        if meter is not None:
-            meter.charge_sync(per_worker)
+                                       cluster, topology)
+    for i, meter in enumerate(meters):
+        if meter is None:
+            continue
+        if live is not None and i < len(live) and not live[i]:
+            continue
+        meter.charge_sync(per_worker)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..eval.evaluator import EvalResult, Evaluator
+from ..faults import FaultController
 from ..graph.splits import EdgeSplit
 from ..nn.loss import bce_with_logits
 from ..nn.models import LinkPredictionModel, build_model
@@ -73,11 +74,33 @@ class TrainConfig:
     sync_every_batches: int = 0   # 0 = once per epoch (model averaging)
     sync_topology: str = "allreduce"  # or "parameter_server"
     cache_remote_features: bool = False  # epoch-scoped remote feature cache
-    # Failure injection: probability that a worker's contribution to a
-    # synchronization round is lost (crash/straggler drop).  The round
-    # proceeds with the survivors — partial participation, as in
-    # fault-tolerant synchronous SGD.
+    # Failure injection (legacy knob): probability that a worker's
+    # contribution to a synchronization round is lost.  Compiles to a
+    # FaultPlan via FaultPlan.from_probability — same RNG stream as the
+    # pre-plan trainer, so old configs stay bit-identical.  Mutually
+    # exclusive with fault_plan.
     worker_failure_prob: float = 0.0
+    # Declarative fault schedule (repro.faults.FaultPlan, or its
+    # to_dict() form).  None (and prob 0) means a fault-free run that
+    # is bit-identical to pre-faults training.
+    fault_plan: Optional[object] = None
+    # How injected faults are survived: "drop" (contribution lost),
+    # "retry" (bounded exponential backoff re-delivery), "restore"
+    # (rehydrate from the last checkpoint + replay) or "elastic"
+    # (continue with survivors, reweight the averages).
+    recovery: str = "drop"
+    # Process-backend checkpoint cadence in epochs for the restore
+    # policy (0 disables checkpointing; in-process backends checkpoint
+    # at sync barriers and ignore this).
+    checkpoint_every: int = 1
+    # Per-operation budget: how long (simulated seconds for injected
+    # stragglers, wall seconds for real child-process reads) a worker
+    # may lag before it is treated as dead.
+    fault_timeout_s: float = 30.0
+    # Retry policy bounds: attempts per worker, and the base of the
+    # exponential backoff schedule (simulated seconds).
+    max_retries: int = 3
+    retry_backoff_s: float = 0.05
     hits_k: int = 100
     eval_every: int = 1
     # Early stopping: stop after `patience` consecutive evaluations
@@ -118,12 +141,45 @@ class TrainConfig:
             import warnings
             warnings.warn(
                 f"backend={self.backend!r} with num_workers=1 degrades "
-                "to the serial backend", RuntimeWarning, stacklevel=2)
+                "to the serial backend (reason: a one-worker pool has "
+                "nothing to parallelize)", RuntimeWarning, stacklevel=2)
             self.backend = "serial"
         if len(self.fanouts) != self.num_layers:
             raise ValueError("need one fanout per layer")
         if not 0.0 <= self.worker_failure_prob < 1.0:
             raise ValueError("worker_failure_prob must be in [0, 1)")
+        from ..faults import RECOVERY_POLICIES, FaultPlan
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, "
+                f"got {self.recovery!r}")
+        if isinstance(self.fault_plan, dict):
+            # Accept the to_dict form so configs stay JSON-round-trippable.
+            self.fault_plan = FaultPlan.from_dict(self.fault_plan)
+        if (self.fault_plan is not None
+                and not isinstance(self.fault_plan, FaultPlan)):
+            raise ValueError(
+                "fault_plan must be a FaultPlan (or its to_dict form), "
+                f"got {type(self.fault_plan).__name__}")
+        if self.fault_plan is not None and self.worker_failure_prob:
+            raise ValueError(
+                "fault_plan and worker_failure_prob are mutually "
+                "exclusive; compile the probability into the plan with "
+                "FaultPlan.from_probability")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if (self.recovery == "restore" and self.backend == "process"
+                and self.checkpoint_every < 1):
+            raise ValueError(
+                "recovery='restore' on backend='process' needs "
+                "checkpointing enabled: set checkpoint_every >= 1 "
+                "(epochs between child snapshots)")
+        if self.fault_timeout_s <= 0:
+            raise ValueError("fault_timeout_s must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         if self.patience < 0:
             raise ValueError("patience must be >= 0")
         if not 0.0 < self.lr_decay <= 1.0:
@@ -162,6 +218,9 @@ class TrainResult:
     comm_total: CommRecord = field(default_factory=CommRecord)
     num_workers: int = 1
     dropped_contributions: int = 0
+    #: Fault/recovery counters from the run's FaultController (empty
+    #: for fault-free runs) — crashes, retries, restores, respawns…
+    faults: Dict[str, float] = field(default_factory=dict)
     #: Observability artifact (None unless ``TrainConfig.observe``).
     report: Optional[RunReport] = None
 
@@ -195,6 +254,11 @@ class TrainResult:
             lines.append(
                 f"dropped worker contributions: "
                 f"{self.dropped_contributions}")
+        if self.faults:
+            events = ", ".join(f"{k}={v:g}" if isinstance(v, float)
+                               else f"{k}={v}"
+                               for k, v in sorted(self.faults.items()))
+            lines.append(f"fault events: {events}")
         return "\n".join(lines)
 
 
@@ -352,6 +416,9 @@ class DistributedTrainer:
         if observer is None and config.observe:
             observer = RunObserver()
         self.observer = observer
+        #: Set by ``_train_loop``; backends consult it for fault
+        #: counters and elastic liveness during recovery.
+        self.fault_controller = None
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         if observer is not None:
             for meter in self.meters:
@@ -466,8 +533,8 @@ class DistributedTrainer:
         best_val = -1.0
         best_state: Optional[Dict[str, np.ndarray]] = None
         best_epoch = -1
-        failure_rng = np.random.default_rng(config.seed + 40177)
-        dropped_contributions = 0
+        faults = FaultController(self)
+        self.fault_controller = faults
         evals_since_best = 0
 
         for epoch in range(config.epochs):
@@ -476,6 +543,7 @@ class DistributedTrainer:
             epoch_started = obs.tracer.now_s if obs is not None else 0.0
             with epoch_cm:
                 backend.begin_epoch()
+                faults.begin_epoch(epoch)
                 losses: List[float] = []
                 batches_since_sync = 0
                 epoch_rounds = 0
@@ -485,54 +553,63 @@ class DistributedTrainer:
                                 if obs is not None else nullcontext())
                     with round_cm:
                         has_batch = backend.poll_batches()
-                        participating = []
-                        for has in has_batch:
-                            if not has:
-                                participating.append(False)
-                                continue
-                            if (config.worker_failure_prob
-                                    and failure_rng.random()
-                                    < config.worker_failure_prob):
-                                # The worker crashed this round: its
-                                # batch is consumed but its gradient
-                                # never reaches the synchronization
-                                # step.
-                                dropped_contributions += 1
-                                if obs is not None:
-                                    obs.counter(
-                                        "train.dropped_contributions"
-                                    ).inc(1)
-                                participating.append(False)
-                                continue
-                            participating.append(True)
-                        for res in backend.train_round(participating):
+                        decision = faults.plan_round(epoch, epoch_rounds,
+                                                     has_batch)
+                        train_mask = decision.train_mask
+                        pending = (backend.pending_batches()
+                                   if faults.logging_batches else None)
+                        for res in backend.train_round(train_mask):
                             if res is not None:
                                 losses.append(res.loss)
                                 epoch_mfg_edges += res.mfg_edges
+                        if pending is not None:
+                            for i, ok in enumerate(train_mask):
+                                if ok:
+                                    faults.note_trained(i, pending[i])
                         epoch_rounds += 1
                         if obs is not None:
                             obs.counter("train.rounds").inc(1)
-                        if not any(participating):
-                            # Nothing reached the synchronizer this
-                            # round (exhausted loaders and/or injected
-                            # failures).
+                        if not any(train_mask):
+                            # Nothing trained this round (exhausted
+                            # loaders and/or injected failures).
                             continue
+                        live = None if faults.all_live else faults.live
                         if config.sync == "grad":
-                            self._synchronize("grad", participating)
-                            backend.step_all()
+                            if any(decision.sync_mask):
+                                self._synchronize("grad",
+                                                  decision.sync_mask,
+                                                  live=live)
+                                if live is None:
+                                    backend.step_all()
+                                else:
+                                    backend.step_participants(live)
+                                faults.barrier(epoch, epoch_rounds)
                         else:
-                            backend.step_participants(participating)
+                            backend.step_participants(train_mask)
+                            for i, ok in enumerate(train_mask):
+                                if ok:
+                                    faults.note_step(i)
                             batches_since_sync += 1
                             if (config.sync_every_batches
                                     and batches_since_sync
                                     >= config.sync_every_batches):
-                                self._synchronize("model")
+                                self._synchronize(
+                                    "model",
+                                    faults.model_sync_mask()
+                                    if faults.enabled else None,
+                                    live=live)
                                 batches_since_sync = 0
                                 self._run_correction()
+                                faults.barrier(epoch, epoch_rounds)
                 if config.sync == "model" and (
                         not config.sync_every_batches or batches_since_sync):
-                    self._synchronize("model")
+                    self._synchronize(
+                        "model",
+                        faults.model_sync_mask()
+                        if faults.enabled else None,
+                        live=None if faults.all_live else faults.live)
                     self._run_correction()
+                    faults.barrier(epoch, epoch_rounds)
                 elif config.sync == "grad":
                     # Under per-round gradient averaging the replicas
                     # are already synchronized; the server-side
@@ -549,6 +626,7 @@ class DistributedTrainer:
                 if ((epoch + 1) % config.eval_every == 0
                         or epoch == config.epochs - 1):
                     backend.refresh_eval_model()
+                    faults.refresh_eval(models)
                     val_cm = (obs.span("validate", epoch=epoch)
                               if obs is not None else nullcontext())
                     with val_cm:
@@ -583,6 +661,7 @@ class DistributedTrainer:
             models[0].load_state_dict(best_state)
         else:
             backend.refresh_eval_model()
+            faults.refresh_eval(models)
         test_cm = obs.span("test") if obs is not None else nullcontext()
         with test_cm:
             test = self.evaluator.test(models[0])
@@ -597,7 +676,8 @@ class DistributedTrainer:
             history=history,
             comm_total=total,
             num_workers=len(self.workers),
-            dropped_contributions=dropped_contributions,
+            dropped_contributions=faults.dropped_contributions,
+            faults=faults.summary(),
         )
         if obs is not None:
             result.report = build_run_report(obs, result)
@@ -606,10 +686,12 @@ class DistributedTrainer:
     # ------------------------------------------------------------------
 
     def _synchronize(self, mode: str,
-                     participating: Optional[List[bool]] = None) -> None:
+                     participating: Optional[List[bool]] = None,
+                     live: Optional[List[bool]] = None) -> None:
         """Run the backend's sync barrier, traced as one ``sync`` span
         whose duration is the per-worker payload over the modeled
-        link."""
+        link.  ``live`` (elastic recovery) restricts the collective to
+        the surviving workers."""
         obs = self.observer
         topology = self.config.sync_topology
 
@@ -617,9 +699,11 @@ class DistributedTrainer:
             """Route to the right backend collective."""
             if mode == "grad":
                 self.backend.apply_gradients(participating, topology,
-                                             obs=obs_arg)
+                                             obs=obs_arg, live=live)
             else:
-                self.backend.sync_models(topology, obs=obs_arg)
+                self.backend.sync_models(topology, obs=obs_arg,
+                                         participating=participating,
+                                         live=live)
 
         if obs is None:
             dispatch(None)

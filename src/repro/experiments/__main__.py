@@ -121,6 +121,7 @@ _EXPERIMENTS: Dict[str, dict] = {
 def _make_scale(name: str) -> ExperimentScale:
     return {"smoke": ExperimentScale.smoke,
             "quick": ExperimentScale.quick,
+            "chaos": ExperimentScale.chaos,
             "paper": ExperimentScale.paper}[name]()
 
 
@@ -137,7 +138,8 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--alphas", nargs="+", type=float, default=None)
     parser.add_argument("--batch-sizes", nargs="+", type=int, default=None,
                         dest="batch_sizes")
-    parser.add_argument("--scale", choices=("smoke", "quick", "paper"),
+    parser.add_argument("--scale",
+                        choices=("smoke", "quick", "chaos", "paper"),
                         default="quick")
     parser.add_argument("--json", default=None,
                         help="with 'all': write the full report here")

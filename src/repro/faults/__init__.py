@@ -1,0 +1,59 @@
+"""Fault tolerance for distributed training: plans, recovery, chaos.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — **what goes wrong**: a
+  :class:`FaultPlan` is a seeded, declarative schedule of fault events
+  (worker crashes, stragglers, lost/corrupted sync messages, shared
+  store outages).  The legacy ``worker_failure_prob`` float compiles to
+  a plan and stays bit-identical.
+* :mod:`repro.faults.controller` — **how the run survives**: the
+  :class:`FaultController` injects each round's planned faults into the
+  trainer loop and drives the configured recovery policy (``drop``,
+  ``retry``, ``restore``, ``elastic``), checkpointing worker state
+  through :mod:`repro.faults.snapshot` when restores are possible.
+* :mod:`repro.faults.chaos` — **proving it**: a harness that sweeps
+  fault plans against every execution backend and asserts the
+  robustness invariants (no hang, monotone progress, final metrics
+  within tolerance of the fault-free twin).  ``python -m repro.faults
+  chaos --smoke`` runs the CI-sized sweep.
+
+Fault and recovery events surface as ``fault`` spans and ``fault.*``
+counters on the run's :class:`~repro.obs.RunObserver`, and as a
+``faults`` summary on :class:`~repro.distributed.trainer.TrainResult`.
+"""
+
+from .controller import RECOVERY_POLICIES, FaultController, RoundDecision
+from .errors import (
+    ClusterDeadError,
+    FaultToleranceError,
+    WorkerDiedError,
+    WorkerTimeoutError,
+)
+from .plan import EVENT_KINDS, FAILURE_SEED_SALT, FaultEvent, FaultPlan
+from .snapshot import (
+    WorkerSnapshot,
+    load_snapshot,
+    restore_worker,
+    save_snapshot,
+    snapshot_worker,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "FAILURE_SEED_SALT",
+    "RECOVERY_POLICIES",
+    "ClusterDeadError",
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultToleranceError",
+    "RoundDecision",
+    "WorkerDiedError",
+    "WorkerSnapshot",
+    "WorkerTimeoutError",
+    "load_snapshot",
+    "restore_worker",
+    "save_snapshot",
+    "snapshot_worker",
+]

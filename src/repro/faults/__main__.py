@@ -1,0 +1,75 @@
+"""CLI entry point: ``python -m repro.faults <command>``.
+
+Commands
+--------
+``chaos [--smoke]``
+    Run the chaos harness: sweep fault plans across execution
+    backends and recovery policies, asserting the robustness
+    invariants against a fault-free twin of every case.  ``--smoke``
+    runs the CI-sized subset (every plan on every backend, recovery
+    policies rotated); the full sweep covers the whole
+    plan x backend x policy grid.
+
+``plans``
+    Print the built-in fault plans the sweep draws from.
+
+Exit status: 0 when every case holds its invariants, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .chaos import ChaosError, builtin_plans, run_chaos
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.faults`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Fault-tolerance chaos harness.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chaos = sub.add_parser(
+        "chaos", help="sweep fault plans across backends and policies")
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI-sized subset: one rotated recovery "
+                            "policy per plan/backend cell")
+    chaos.add_argument("--backends", nargs="+", metavar="NAME",
+                       default=["serial", "thread", "process"],
+                       help="backends to sweep (default: all three)")
+    chaos.add_argument("--workers", type=int, default=3,
+                       help="simulated cluster size (default 3)")
+    chaos.add_argument("--epochs", type=int, default=2,
+                       help="epochs per case (default 2)")
+    chaos.add_argument("--seed", type=int, default=23,
+                       help="workload + plan seed (default 23)")
+    chaos.add_argument("--no-observe", action="store_true",
+                       help="skip RunReport assertions (faster)")
+
+    sub.add_parser("plans", help="print the built-in fault plans")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    if args.command == "plans":
+        for name, plan in sorted(builtin_plans().items()):
+            print(f"== {name} ==")
+            print(plan.describe())
+        return 0
+    try:
+        run_chaos(smoke=args.smoke, backends=tuple(args.backends),
+                  workers=args.workers, epochs=args.epochs,
+                  seed=args.seed, observe=not args.no_observe)
+    except ChaosError as err:
+        print(err, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

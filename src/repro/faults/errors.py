@@ -1,0 +1,35 @@
+"""Fault-tolerance error types shared by backends and the controller."""
+
+from __future__ import annotations
+
+
+class FaultToleranceError(RuntimeError):
+    """Base class for fault-tolerance failures."""
+
+
+class WorkerDiedError(FaultToleranceError):
+    """A worker process died (detected via the pipe + liveness probe)."""
+
+    def __init__(self, worker: int, context: str = "") -> None:
+        self.worker = worker
+        self.context = context
+        suffix = f" during {context}" if context else ""
+        super().__init__(f"worker {worker} died{suffix}")
+
+
+class WorkerTimeoutError(FaultToleranceError):
+    """A worker exceeded the per-operation timeout budget."""
+
+    def __init__(self, worker: int, context: str = "",
+                 timeout_s: float = 0.0) -> None:
+        self.worker = worker
+        self.context = context
+        self.timeout_s = timeout_s
+        suffix = f" during {context}" if context else ""
+        super().__init__(
+            f"worker {worker} timed out{suffix} "
+            f"(budget {timeout_s:.1f}s)")
+
+
+class ClusterDeadError(FaultToleranceError):
+    """No live worker remains; the run cannot make progress."""

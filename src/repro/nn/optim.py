@@ -7,7 +7,7 @@ terms of an SGD step on averaged gradients.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -30,6 +30,20 @@ class Optimizer:
     def step(self) -> None:
         """Apply one update step (subclass hook)."""
         raise NotImplementedError
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Optimizer state as ``{name: ndarray}`` (scalars as 0-d
+        arrays) so it round-trips through :mod:`repro.nn.serialize`
+        alongside the model's state dict — required by the
+        fault-tolerance ``restore`` policy, which rehydrates a crashed
+        worker's optimizer to the exact checkpoint step."""
+        return {"lr": np.asarray(self.lr, dtype=np.float64)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
 
 
 class SGD(Optimizer):
@@ -61,6 +75,19 @@ class SGD(Optimizer):
             # when no live graph captures p.data (the autograd
             # sanitizer thaws parameters at the end of backward).
             p.data -= self.lr * grad  # lint: disable=R003
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Learning rate plus per-parameter momentum buffers."""
+        state = super().state_dict()
+        for i, vel in enumerate(self._velocity):
+            state[f"velocity.{i}"] = vel.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output into this optimizer."""
+        super().load_state_dict(state)
+        self._velocity = [state[f"velocity.{i}"].copy()
+                          for i in range(len(self.params))]
 
 
 class Adam(Optimizer):
@@ -100,3 +127,24 @@ class Adam(Optimizer):
             v_hat = v / bias2
             # Sanctioned in-place update (see SGD.step above).
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)  # lint: disable=R003
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Learning rate, step count and first/second moment buffers.
+
+        The step count matters: Adam's bias correction depends on ``t``,
+        so a rehydrated worker that lost it would take differently
+        scaled steps and break restore bit-identity.
+        """
+        state = super().state_dict()
+        state["step_count"] = np.asarray(self._step_count, dtype=np.int64)
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore :meth:`state_dict` output into this optimizer."""
+        super().load_state_dict(state)
+        self._step_count = int(state["step_count"])
+        self._m = [state[f"m.{i}"].copy() for i in range(len(self.params))]
+        self._v = [state[f"v.{i}"].copy() for i in range(len(self.params))]

@@ -3,12 +3,17 @@
 Saves/loads a module's ``state_dict`` as a compressed ``.npz`` archive
 so trained link predictors can be shipped between processes or kept
 across sessions — the moral equivalent of ``torch.save``.
+
+Both functions accept a filesystem path or a binary file-like object;
+the fault-tolerance subsystem (:mod:`repro.faults`) checkpoints worker
+state through in-memory buffers with this same codec, so every
+mid-training checkpoint exercises the exact on-disk format.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, Union, BinaryIO
 
 import numpy as np
 
@@ -17,18 +22,29 @@ from .module import Module
 _META_KEY = "__repro_format__"
 _FORMAT_VERSION = "1"
 
+PathOrFile = Union[str, "os.PathLike[str]", BinaryIO]
 
-def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
-    """Write a state dict to ``path`` (npz, compressed)."""
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathOrFile) -> None:
+    """Write a state dict to ``path`` (npz, compressed).
+
+    ``path`` may be a filename or a writable binary file object.
+    """
     payload = dict(state)
     payload[_META_KEY] = np.array(_FORMAT_VERSION)
+    if hasattr(path, "write"):
+        np.savez_compressed(path, **payload)
+        return
     with open(path, "wb") as fh:
         np.savez_compressed(fh, **payload)
 
 
-def load_state_dict(path: str) -> Dict[str, np.ndarray]:
-    """Read a state dict written by :func:`save_state_dict`."""
-    if not os.path.exists(path):
+def load_state_dict(path: PathOrFile) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state_dict`.
+
+    ``path`` may be a filename or a readable binary file object.
+    """
+    if not hasattr(path, "read") and not os.path.exists(path):
         raise FileNotFoundError(path)
     with np.load(path) as archive:
         keys = set(archive.files)

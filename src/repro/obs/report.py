@@ -188,5 +188,7 @@ def build_run_report(observer, result) -> RunReport:
             "test_hits": float(result.test.hits),
             "test_auc": float(result.test.auc),
             "dropped_contributions": int(result.dropped_contributions),
+            "faults": {k: float(v)
+                       for k, v in getattr(result, "faults", {}).items()},
         },
     )
