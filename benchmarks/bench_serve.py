@@ -1,0 +1,206 @@
+"""Serving load benchmark: open- and closed-loop harness.
+
+Trains a small model once, exports a servable artifact, then replays
+seeded request streams against a :class:`repro.serve.ServingCluster`
+on every execution backend under two load models:
+
+* ``open`` — Poisson arrivals at a fixed offered rate (exposes
+  queueing and load shedding when offered load exceeds capacity);
+* ``closed`` — a fixed client population with think time (measures
+  latency at self-throttled, sustainable load).
+
+Reported latency/throughput numbers live on the *simulated* hardware
+clock (the same :class:`~repro.distributed.timeline.HardwareModel`
+the training timeline uses); ``wall_s`` is the real time the harness
+took.  Per mode, the report digest must be bit-identical across
+backends — the benchmark doubles as the serving determinism check at
+realistic request volume.
+
+Emitted schema (``BENCH_serve.json``)::
+
+    {
+      "schema": "bench_serve/v1",
+      "config": {...workload knobs...},
+      "host": {"cpu_count": ..., "schedulable_cpus": ...},
+      "results": [
+        {"mode": "open", "backend": "serial", "wall_s": 0.8,
+         "requests": 600, "completed": 594, "throughput_rps": 2405.1,
+         "p50_latency_ms": 0.41, "p99_latency_ms": 2.93,
+         "cache_hit_rate": 0.62, "shed_rate": 0.01,
+         "digest": "..."},
+        ...
+      ]
+    }
+
+Run via ``scripts/bench.py --suite serve`` (``--smoke`` for the
+CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.api import Session
+from repro.distributed.store import RemoteGraphStore
+from repro.graph import synthetic_lp_graph
+from repro.serve import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    ServingCluster,
+    synthetic_requests,
+)
+
+SCHEMA = "bench_serve/v1"
+
+#: Full-size workload: enough requests that micro-batching, caching
+#: and shedding all engage.
+FULL = dict(num_nodes=600, target_edges=2400, feature_dim=32,
+            workers=3, num_requests=600, rate_rps=4000.0, clients=16,
+            think_time_s=5e-4, topk_fraction=0.2, k=10,
+            max_batch=8, max_delay_s=1e-3, max_queue=48,
+            embed_cache=512, neighbor_cache=128, seed=0)
+
+#: CI-sized workload: the whole sweep finishes in a few seconds.
+SMOKE = dict(num_nodes=150, target_edges=500, feature_dim=16,
+             workers=3, num_requests=90, rate_rps=3000.0, clients=6,
+             think_time_s=5e-4, topk_fraction=0.2, k=5,
+             max_batch=4, max_delay_s=1e-3, max_queue=16,
+             embed_cache=128, neighbor_cache=32, seed=0)
+
+MODES = ("open", "closed")
+
+
+def _export_artifact(params: Dict):
+    """Train the benchmark model once; return (artifact, store)."""
+    rng = np.random.default_rng(params["seed"])
+    graph = synthetic_lp_graph(
+        num_nodes=params["num_nodes"], target_edges=params["target_edges"],
+        feature_dim=params["feature_dim"], num_communities=8, rng=rng)
+    session = (Session(graph).partition(params["workers"])
+               .framework("psgd_pa").scale("smoke")
+               .configure(seed=params["seed"]).backend("serial"))
+    session.train()
+    artifact = session.export()
+    store = RemoteGraphStore(session._trainer.partitioned.full)
+    return artifact, store
+
+
+def _make_workload(mode: str, params: Dict):
+    """A fresh seeded workload for one benchmark cell."""
+    requests = synthetic_requests(
+        params["num_requests"], params["num_nodes"],
+        seed=params["seed"] + 17,
+        topk_fraction=params["topk_fraction"], k=params["k"])
+    if mode == "open":
+        return OpenLoopWorkload(requests, rate_rps=params["rate_rps"],
+                                seed=params["seed"] + 29)
+    return ClosedLoopWorkload(requests, num_clients=params["clients"],
+                              think_time_s=params["think_time_s"])
+
+
+def run_bench(
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    params: Optional[Dict] = None,
+    modes: Sequence[str] = MODES,
+) -> Dict:
+    """Run the sweep and return the ``bench_serve/v1`` document.
+
+    Every (mode, backend) cell serves the *same* seeded request stream
+    against the same artifact; the report digest must agree across
+    backends within a mode.
+    """
+    params = dict(FULL if params is None else params)
+    artifact, store = _export_artifact(params)
+    results: List[Dict] = []
+    for mode in modes:
+        for backend in backends:
+            cluster = ServingCluster(
+                artifact, backend=backend, store=store,
+                max_batch=params["max_batch"],
+                max_delay_s=params["max_delay_s"],
+                max_queue=params["max_queue"],
+                embed_cache=params["embed_cache"],
+                neighbor_cache=params["neighbor_cache"])
+            workload = _make_workload(mode, params)
+            started = time.perf_counter()
+            with cluster:
+                report = cluster.serve(workload)
+            wall = time.perf_counter() - started
+            results.append({
+                "mode": mode,
+                "backend": backend,
+                "wall_s": round(wall, 4),
+                "requests": len(report.outcomes),
+                "completed": len(report.completed()),
+                "throughput_rps": round(report.throughput_rps(), 2),
+                "p50_latency_ms": round(
+                    report.latency_percentile(50) * 1e3, 4),
+                "p99_latency_ms": round(
+                    report.latency_percentile(99) * 1e3, 4),
+                "cache_hit_rate": round(report.cache_hit_rate(), 4),
+                "shed_rate": round(report.shed_rate(), 4),
+                "digest": report.digest(),
+            })
+    return {
+        "schema": SCHEMA,
+        "config": {**params, "backends": list(backends),
+                   "modes": list(modes)},
+        "host": _host_info(),
+        "results": results,
+    }
+
+
+def _host_info() -> Dict:
+    """CPU topology the sweep ran on (wall_s context only — the
+    simulated serving metrics are host-independent)."""
+    try:
+        schedulable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        schedulable = os.cpu_count() or 1
+    return {"cpu_count": os.cpu_count() or 1,
+            "schedulable_cpus": schedulable}
+
+
+def validate_document(doc: Dict) -> List[str]:
+    """Schema + determinism check for a ``bench_serve/v1`` document.
+
+    Beyond field presence, enforces the core contract: within each
+    mode, every backend produced the same report digest.
+    """
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be a dict")
+    host = doc.get("host")
+    if (not isinstance(host, dict)
+            or not isinstance(host.get("schedulable_cpus"), int)):
+        problems.append("host.schedulable_cpus missing")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        problems.append("results must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        for key, kinds in (("mode", str), ("backend", str),
+                           ("wall_s", (int, float)),
+                           ("requests", int), ("completed", int),
+                           ("throughput_rps", (int, float)),
+                           ("p50_latency_ms", (int, float)),
+                           ("p99_latency_ms", (int, float)),
+                           ("cache_hit_rate", (int, float)),
+                           ("shed_rate", (int, float)),
+                           ("digest", str)):
+            if not isinstance(row.get(key), kinds):
+                problems.append(f"results[{i}].{key} missing or wrong type")
+    for mode in {r.get("mode") for r in rows if isinstance(r, dict)}:
+        digests = {r["backend"]: r.get("digest") for r in rows
+                   if isinstance(r, dict) and r.get("mode") == mode}
+        if len(set(digests.values())) > 1:
+            problems.append(
+                f"serve digests diverged across backends in mode "
+                f"{mode!r}: {digests}")
+    return problems

@@ -1,16 +1,23 @@
 #!/usr/bin/env python
-"""Backend benchmark driver: sweep backends × workers, emit JSON.
+"""Benchmark driver: run a suite, emit and validate its JSON document.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py                # full sweep
-    PYTHONPATH=src python scripts/bench.py --smoke        # ~10 s CI run
+    PYTHONPATH=src python scripts/bench.py                       # backends
+    PYTHONPATH=src python scripts/bench.py --suite serve         # serving
+    PYTHONPATH=src python scripts/bench.py --smoke [--suite S]   # CI gate
     PYTHONPATH=src python scripts/bench.py --out FILE
 
-The full sweep writes ``BENCH_backends.json`` at the repo root (the
-committed artifact); ``--smoke`` runs a miniature workload, validates
-the emitted document against the ``bench_backends/v1`` schema, and
-exits non-zero on any schema problem — this is the CI gate.
+Suites:
+
+* ``backends`` — training wall-clock across execution backends
+  (writes ``BENCH_backends.json``, schema ``bench_backends/v1``).
+* ``serve`` — serving load harness: open/closed-loop workloads per
+  backend with cross-backend digest equality enforced (writes
+  ``BENCH_serve.json``, schema ``bench_serve/v1``).
+
+``--smoke`` runs a miniature workload, validates the emitted document
+against the suite schema, and exits non-zero on any problem.
 """
 
 from __future__ import annotations
@@ -33,22 +40,8 @@ from benchmarks.bench_backends import (  # noqa: E402
 )
 
 
-def main(argv=None) -> int:
-    """Parse arguments, run the sweep, write and validate the JSON."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="miniature workload + schema validation only")
-    parser.add_argument("--out", type=Path, default=None,
-                        help="output path (default: BENCH_backends.json at "
-                             "the repo root; smoke runs default to not "
-                             "persisting)")
-    parser.add_argument("--workers", type=int, nargs="+", default=None,
-                        help="worker counts to sweep (default: 2 4)")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="timings per cell, best-of (default: 2, "
-                             "smoke: 1)")
-    args = parser.parse_args(argv)
-
+def _run_backends(args) -> int:
+    """The training-backend sweep (the original driver behavior)."""
     params = SMOKE if args.smoke else FULL
     workers = args.workers or ([2] if args.smoke else [2, 4])
     repeats = args.repeats or (1 if args.smoke else 2)
@@ -71,18 +64,69 @@ def main(argv=None) -> int:
               f"wall={row['wall_s']:8.3f}s  "
               f"speedup={row['speedup_vs_serial']:.2f}x  "
               f"hits={row['hits']:.4f}")
+    return _finish(doc, problems, args, "BENCH_backends.json")
+
+
+def _run_serve(args) -> int:
+    """The serving load harness sweep."""
+    from benchmarks.bench_serve import (
+        FULL as SERVE_FULL,
+        SMOKE as SERVE_SMOKE,
+        run_bench as run_serve_bench,
+        validate_document as validate_serve,
+    )
+
+    params = SERVE_SMOKE if args.smoke else SERVE_FULL
+    doc = run_serve_bench(params=params)
+    problems = validate_serve(doc)
+    print(f"host: {doc['host']['schedulable_cpus']} schedulable cpu(s)")
+    for row in doc["results"]:
+        print(f"{row['mode']:>6s}  {row['backend']:>8s}  "
+              f"wall={row['wall_s']:7.3f}s  "
+              f"rps={row['throughput_rps']:9.1f}  "
+              f"p50={row['p50_latency_ms']:7.3f}ms  "
+              f"p99={row['p99_latency_ms']:7.3f}ms  "
+              f"cache={row['cache_hit_rate']:.2f}  "
+              f"shed={row['shed_rate']:.2f}")
+    return _finish(doc, problems, args, "BENCH_serve.json")
+
+
+def _finish(doc, problems, args, default_name: str) -> int:
+    """Report problems; persist the document for full runs."""
     if problems:
         for problem in problems:
             print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
         return 1
-
     out = args.out
     if out is None and not args.smoke:
-        out = REPO_ROOT / "BENCH_backends.json"
+        out = REPO_ROOT / default_name
     if out is not None:
         out.write_text(json.dumps(doc, indent=2) + "\n")
         print(f"wrote {out}")
     return 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the selected suite."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=("backends", "serve"),
+                        default="backends",
+                        help="benchmark suite to run (default: backends)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="miniature workload + schema validation only")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_<suite>.json at "
+                             "the repo root; smoke runs default to not "
+                             "persisting)")
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="[backends] worker counts (default: 2 4)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="[backends] timings per cell, best-of "
+                             "(default: 2, smoke: 1)")
+    args = parser.parse_args(argv)
+    if args.suite == "serve":
+        return _run_serve(args)
+    return _run_backends(args)
 
 
 if __name__ == "__main__":

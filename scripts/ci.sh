@@ -17,8 +17,12 @@ python -m repro.lint src/ --format json
 echo "== chaos smoke (fault tolerance) =="
 python -m repro.faults chaos --smoke
 
+echo "== serve smoke (cross-backend digest) =="
+python -m repro.serve --smoke
+
 echo "== bench smoke (schema gate) =="
 python scripts/bench.py --smoke
+python scripts/bench.py --smoke --suite serve
 
 echo "== docs links =="
 python scripts/check_links.py

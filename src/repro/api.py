@@ -278,6 +278,24 @@ class Session:
         """The last :meth:`train` outcome (``None`` before training)."""
         return self._result
 
+    def export(self, path=None):
+        """Freeze the trained model into a servable artifact.
+
+        Materializes every node's exact full-neighbor embedding, splits
+        the table by shard ownership and bundles the decoder weights
+        (see :func:`repro.serve.export_servable`).  When ``path`` is
+        given the artifact is also written to disk (checksummed npz).
+        """
+        if self._trainer is None:
+            raise RuntimeError("call train() before export()")
+        from .serve import export_servable
+
+        artifact = export_servable(self._trainer.workers[0].model,
+                                   self._trainer.partitioned)
+        if path is not None:
+            artifact.save(path)
+        return artifact
+
     def score(self, pairs, fanouts=None) -> InferenceResult:
         """Serve predictions for node pairs from the trained cluster.
 

@@ -112,6 +112,21 @@ class ExecutionBackend:
         """Release pools, processes and shared memory."""
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Idempotent :meth:`shutdown`.
+
+        The first call releases resources; later calls are no-ops, so
+        overlapping cleanup paths (the trainer's ``finally`` block,
+        fault controllers, context managers, tests) can all close
+        defensively without double-releasing pools or shared memory.
+        :meth:`bind` re-arms the guard, so a backend reused for a new
+        run closes again.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self.shutdown()
+
     def begin_epoch(self) -> None:
         """Reset per-epoch state: feature caches and batch iterators."""
         raise NotImplementedError
@@ -248,6 +263,7 @@ class SerialBackend(ExecutionBackend):
     def bind(self, trainer) -> None:
         """Attach to ``trainer``; serial needs no pool setup."""
         self.trainer = trainer
+        self._closed = False
         n = len(trainer.workers)
         self._pending = [None] * n
         self._exhausted = [True] * n
@@ -530,6 +546,7 @@ class ProcessBackend(ExecutionBackend):
         """Move features to shared memory, then fork one child per
         worker (children inherit the trainer copy-on-write)."""
         self.trainer = trainer
+        self._closed = False
         n = len(trainer.workers)
         if n != self.num_workers:
             self.num_workers = n

@@ -18,7 +18,12 @@ is pre-drawn from the scorer RNG in worker order before any dispatch.
 With full-neighbor computation (``fanouts = [-1] * K``) and a complete
 remote store, distributed scores are *exactly* equal to centralized
 scores — the test suite uses this as an end-to-end consistency check
-of the whole locality machinery.
+of the whole locality machinery.  Full-neighbor embeddings are also
+deterministic per node, which lets the scorer memoize them across
+``score`` calls: repeated queries against an unchanged model reuse
+each node's embedding instead of recomputing (and re-fetching) it.
+The memo is keyed by the model's parameter fingerprint and invalidated
+the moment the weights change.
 """
 
 from __future__ import annotations
@@ -27,17 +32,20 @@ import multiprocessing as mp
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..rng import ensure_rng
-from ..faults.errors import ClusterDeadError, WorkerDiedError, WorkerTimeoutError
+from ..faults.errors import WorkerDiedError, WorkerTimeoutError
 from ..nn.models import LinkPredictionModel
+from ..nn.serialize import model_fingerprint
+from ..nn.tensor import Tensor
 from ..partition.partitioned import PartitionedGraph
 from ..sampling.neighbor import NeighborSampler
 from .backends import BACKEND_NAMES
 from .comm import CommMeter, CommRecord
+from .routing import ShardRouter, guarded_recv
 from .views import WorkerGraphView
 
 
@@ -88,6 +96,14 @@ class DistributedScorer:
     backend:
         Execution backend name (``serial`` | ``thread`` | ``process``);
         results are bit-identical across all three.
+
+    With all-full-neighbor fanouts, per-node embeddings are exact and
+    deterministic, so the scorer memoizes them per shard across
+    ``score`` calls (see :attr:`stats` for hit/compute counters).  The
+    memo is keyed by the model's parameter fingerprint: any weight
+    update invalidates it.  Stochastic fanouts disable the memo — the
+    sampled neighborhoods (and hence the scores) legitimately differ
+    per call.
     """
 
     def __init__(
@@ -117,13 +133,26 @@ class DistributedScorer:
         self.rng = ensure_rng(rng)
         self.backend = backend
         self.timeout_s = float(timeout_s)
-        self._down: set = set()
+        self.router = ShardRouter(partitioned.assignment,
+                                  partitioned.num_parts)
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         self.views = [
             WorkerGraphView(partitioned, part, remote=remote,
                             meter=self.meters[part])
             for part in range(partitioned.num_parts)
         ]
+        #: Embedding memo, per shard: node id -> final-layer embedding.
+        #: Only populated with all-full-neighbor fanouts (deterministic
+        #: embeddings); see the class docstring.
+        self._memo_enabled = all(f == -1 for f in self.fanouts)
+        self._embed_memo: List[Dict[int, np.ndarray]] = [
+            {} for _ in range(partitioned.num_parts)]
+        self._memo_version: Optional[str] = None
+        #: Deterministic embedding-work counters: ``embed_computed``
+        #: (node embeddings built from scratch) and ``embed_memo_hits``
+        #: (reused from the memo).  Identical across backends.
+        self.stats: Dict[str, int] = {"embed_computed": 0,
+                                      "embed_memo_hits": 0}
 
     def mark_down(self, part: int) -> None:
         """Take shard ``part`` out of the routing table.
@@ -132,50 +161,51 @@ class DistributedScorer:
         endpoint's owner first, else the first live shard — and pay the
         extra remote traffic of scoring through a non-owner's view.
         """
-        if not 0 <= part < self.partitioned.num_parts:
-            raise ValueError(f"no shard {part} in a "
-                             f"{self.partitioned.num_parts}-shard cluster")
-        self._down.add(part)
-        if len(self._down) == self.partitioned.num_parts:
-            self._down.discard(part)
-            raise ClusterDeadError(
-                "cannot mark the last live shard down; the scorer needs "
-                "at least one shard to route to")
+        self.router.mark_down(part)
 
     def mark_up(self, part: int) -> None:
         """Return a previously downed shard to the routing table."""
-        self._down.discard(part)
+        self.router.mark_up(part)
 
     @property
     def live_shards(self) -> List[int]:
         """Shards currently accepting queries, in worker order."""
-        return [p for p in range(self.partitioned.num_parts)
-                if p not in self._down]
+        return self.router.live_shards
 
     def _route(self, pairs: np.ndarray) -> tuple:
-        """Owner routing with down-shard fallback.
+        """Owner routing with down-shard fallback (see
+        :meth:`ShardRouter.route_pairs`)."""
+        return self.router.route_pairs(pairs)
 
-        Returns ``(owners, rerouted)``: the shard each pair is served
-        from, and how many pairs could not use their true owner.
+    def _refresh_memo(self) -> None:
+        """Invalidate the embedding memo if the model changed.
+
+        The memo is keyed by the model's parameter fingerprint; a
+        version mismatch (any weight update since the last ``score``)
+        clears every shard's cache.
         """
-        owners = self.partitioned.assignment[pairs[:, 0]].copy()
-        if not self._down:
-            return owners, 0
-        down = np.isin(owners, sorted(self._down))
-        rerouted = int(down.sum())
-        if rerouted:
-            # Fallback 1: the destination endpoint's owner.
-            dst_owners = self.partitioned.assignment[pairs[:, 1]]
-            owners[down] = dst_owners[down]
-            # Fallback 2: the first live shard.
-            still_down = np.isin(owners, sorted(self._down))
-            owners[still_down] = self.live_shards[0]
-        return owners, rerouted
+        if not self._memo_enabled:
+            return
+        version = model_fingerprint(self.model)
+        if version != self._memo_version:
+            self._memo_version = version
+            for memo in self._embed_memo:
+                memo.clear()
 
     def score(self, pairs: np.ndarray) -> InferenceResult:
         """Score pairs; each is routed to its source endpoint's owner
         (or a fallback shard when the owner is marked down)."""
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.shape[0] == 0:
+            # Graceful empty query: nothing routed, nothing charged.
+            comm = CommRecord()
+            for meter in self.meters:
+                comm += meter.total()
+            return InferenceResult(
+                scores=np.empty(0, dtype=np.float64), comm=comm,
+                pairs_per_worker=[0] * self.partitioned.num_parts,
+                rerouted_pairs=0)
+        self._refresh_memo()
         owners, rerouted = self._route(pairs)
         scores = np.empty(pairs.shape[0], dtype=np.float64)
         counts: List[int] = []
@@ -197,7 +227,10 @@ class DistributedScorer:
                 self._score_forked(shards, pairs, scores)
             else:
                 for part, sel, seed in shards:
-                    scores[sel] = self._score_shard(part, sel, pairs, seed)
+                    shard_scores, fresh, hits = self._score_shard(
+                        part, sel, pairs, seed)
+                    scores[sel] = shard_scores
+                    self._absorb_memo(part, fresh, hits)
         finally:
             self.model.train()
         comm = CommRecord()
@@ -209,28 +242,74 @@ class DistributedScorer:
 
     # ------------------------------------------------------------------
 
+    def _absorb_memo(self, part: int, fresh: Dict[int, np.ndarray],
+                     hits: int) -> None:
+        """Fold a shard's freshly computed embeddings into its memo and
+        count the embedding work.  Runs parent-side only, in worker
+        order, so the counters are bit-identical across backends."""
+        self.stats["embed_computed"] += len(fresh)
+        self.stats["embed_memo_hits"] += int(hits)
+        if self._memo_enabled and fresh:
+            self._embed_memo[part].update(fresh)
+
     def _score_shard(self, part: int, sel: np.ndarray, pairs: np.ndarray,
-                     seed: int) -> np.ndarray:
+                     seed: int
+                     ) -> Tuple[np.ndarray, Dict[int, np.ndarray], int]:
         """Score one worker's shard of pairs, in routing order.
 
         Touches only worker-``part`` state (view, meter, a fresh
-        sampler), so shards are safe to run concurrently.
+        sampler), so shards are safe to run concurrently.  Returns the
+        scores plus the per-node embeddings computed from scratch this
+        call plus the memo hit count (the caller folds both into the
+        shard memo and the work counters — the forked child ships them
+        back to the parent instead).
         """
         view = self.views[part]
         sampler = NeighborSampler(self.fanouts,
                                   rng=np.random.default_rng(seed))
+        memo = self._embed_memo[part] if self._memo_enabled else None
+        fresh: Dict[int, np.ndarray] = {}
+        hits = 0
         out = np.empty(sel.size, dtype=np.float64)
         for start in range(0, sel.size, self.batch_size):
             idx = sel[start:start + self.batch_size]
             batch = pairs[idx]
             seeds, inverse = np.unique(batch.ravel(), return_inverse=True)
-            comp_graph = sampler.sample(view, seeds)
-            feats = view.fetch_features(comp_graph.input_nodes)
             pair_idx = inverse.reshape(-1, 2)
-            logits = self.model(comp_graph, feats,
-                                pair_idx[:, 0], pair_idx[:, 1])
+            if memo is None:
+                comp_graph = sampler.sample(view, seeds)
+                feats = view.fetch_features(comp_graph.input_nodes)
+                emb = self.model.embed(comp_graph, feats)
+                logits = self.model.score_pairs(emb, pair_idx[:, 0],
+                                                pair_idx[:, 1])
+                # Without the memo every seed is computed fresh; the
+                # rows are still reported so the work counters agree
+                # across backends (the forked child ships them back).
+                for j, node in enumerate(seeds):
+                    fresh[int(node)] = emb.data[j]
+            else:
+                known = np.fromiter(
+                    (int(n) in memo or int(n) in fresh for n in seeds),
+                    dtype=bool, count=seeds.size)
+                missing = seeds[~known]
+                hits += int(known.sum())
+                if missing.size:
+                    # `missing` is sorted-unique, so the sampled
+                    # computation graph's seed order matches it and
+                    # embedding rows align one-to-one.
+                    comp_graph = sampler.sample(view, missing)
+                    feats = view.fetch_features(comp_graph.input_nodes)
+                    new_emb = self.model.embed(comp_graph, feats).data
+                    for j, node in enumerate(missing):
+                        fresh[int(node)] = new_emb[j]
+                rows = np.stack([
+                    fresh[int(n)] if int(n) in fresh else memo[int(n)]
+                    for n in seeds])
+                logits = self.model.score_pairs(Tensor(rows),
+                                                pair_idx[:, 0],
+                                                pair_idx[:, 1])
             out[start:start + idx.size] = logits.data
-        return out
+        return out, fresh, hits
 
     def _score_threaded(self, shards, pairs, scores) -> None:
         """Score shards on a thread pool; shards write disjoint rows
@@ -239,15 +318,18 @@ class DistributedScorer:
                 max_workers=len(shards),
                 thread_name_prefix="repro-scorer") as pool:
             futures = [
-                (sel, pool.submit(self._score_shard, part, sel, pairs, seed))
+                (part, sel,
+                 pool.submit(self._score_shard, part, sel, pairs, seed))
                 for part, sel, seed in shards
             ]
-            for sel, future in futures:
-                scores[sel] = future.result()
+            for part, sel, future in futures:
+                shard_scores, fresh, hits = future.result()
+                scores[sel] = shard_scores
+                self._absorb_memo(part, fresh, hits)
 
     def _score_forked(self, shards, pairs, scores) -> None:
-        """Fork one child per shard (copy-on-write graph); merge scores
-        and communication deltas in worker order."""
+        """Fork one child per shard (copy-on-write graph); merge scores,
+        communication deltas and memo deltas in worker order."""
         ctx = mp.get_context("fork")
         procs, conns = [], []
         for part, sel, seed in shards:
@@ -263,7 +345,7 @@ class DistributedScorer:
         try:
             for (part, sel, seed), conn, proc in zip(shards, conns, procs):
                 try:
-                    reply = self._guarded_recv(part, conn, proc)
+                    reply = guarded_recv(part, conn, proc, self.timeout_s)
                 except (WorkerDiedError, WorkerTimeoutError) as exc:
                     # Owner shard is gone mid-query: mark it down and
                     # re-score its pairs through a surviving shard's
@@ -275,11 +357,14 @@ class DistributedScorer:
                         stacklevel=2)
                     self.mark_down(part)
                     fallback = self.live_shards[0]
-                    scores[sel] = self._score_shard(fallback, sel, pairs,
-                                                    seed)
+                    shard_scores, fresh, hits = self._score_shard(
+                        fallback, sel, pairs, seed)
+                    scores[sel] = shard_scores
+                    self._absorb_memo(fallback, fresh, hits)
                     continue
-                shard_scores, delta = reply
+                shard_scores, delta, fresh, hits = reply
                 scores[sel] = shard_scores
+                self._absorb_memo(part, fresh, hits)
                 self.meters[part].absorb(
                     CommRecord(feature_bytes=delta[0],
                                structure_bytes=delta[1],
@@ -293,34 +378,6 @@ class DistributedScorer:
                     proc.terminate()
                     proc.join(timeout=1.0)
 
-    def _guarded_recv(self, part: int, conn, proc):
-        """Read a scoring child's reply without risking a parent hang.
-
-        Polls in short slices, probing child liveness between slices,
-        and gives up after ``timeout_s`` — the only sanctioned direct
-        pipe read on the inference path (mirrors the training
-        backend's guarded receive).
-        """
-        import time
-
-        deadline = time.monotonic() + self.timeout_s
-        while True:
-            if conn.poll(0.05):  # lint: disable=R106
-                try:
-                    return conn.recv()  # lint: disable=R106
-                except (EOFError, OSError) as exc:
-                    raise WorkerDiedError(part, "score") from exc
-            if not proc.is_alive():
-                # Drain anything flushed between the poll and death.
-                if conn.poll(0):  # lint: disable=R106
-                    try:
-                        return conn.recv()  # lint: disable=R106
-                    except (EOFError, OSError) as exc:
-                        raise WorkerDiedError(part, "score") from exc
-                raise WorkerDiedError(part, "score")
-            if time.monotonic() > deadline:
-                raise WorkerTimeoutError(part, "score", self.timeout_s)
-
     def comm_summary(self) -> Dict[str, int]:
         """Cumulative communication over every ``score`` call so far."""
         comm = CommRecord()
@@ -333,15 +390,18 @@ def _scorer_child(scorer: DistributedScorer, part: int, sel: np.ndarray,
                   pairs: np.ndarray, seed: int, conn) -> None:
     """Entry point of a forked scoring child: score the shard against
     the inherited (copy-on-write) scorer state, report scores plus the
-    meter delta the shard charged."""
+    meter delta the shard charged and the embeddings it computed (the
+    parent folds those into the shard memo so repeated calls stay
+    bit-identical to the in-process backends)."""
     meter = scorer.meters[part]
     before = (meter.current.feature_bytes, meter.current.structure_bytes,
               meter.current.sync_bytes)
     try:
-        shard_scores = scorer._score_shard(part, sel, pairs, seed)
+        shard_scores, fresh, hits = scorer._score_shard(part, sel, pairs,
+                                                        seed)
         delta = (meter.current.feature_bytes - before[0],
                  meter.current.structure_bytes - before[1],
                  meter.current.sync_bytes - before[2])
-        conn.send((shard_scores, delta))
+        conn.send((shard_scores, delta, fresh, hits))
     finally:
         conn.close()

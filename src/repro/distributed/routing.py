@@ -1,0 +1,130 @@
+"""Shard routing shared by batch inference and online serving.
+
+Both :class:`~repro.distributed.inference.DistributedScorer` and the
+serving cluster (:mod:`repro.serve`) answer the same question for
+every query: *which shard serves this request?*  The answer is
+owner-routing — a pair goes to the shard owning its source endpoint —
+with a two-step fallback when that shard is marked down: first the
+destination endpoint's owner, then the first live shard.  Marking the
+last live shard down raises
+:class:`~repro.faults.errors.ClusterDeadError`, because a router with
+no live shards cannot make progress.
+
+:class:`ShardRouter` holds that logic once so the batch and online
+paths cannot drift; :func:`guarded_recv` is the shared bounded pipe
+read both paths use to collect forked shard replies without risking a
+parent hang.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..faults.errors import ClusterDeadError, WorkerDiedError, WorkerTimeoutError
+
+
+class ShardRouter:
+    """Owner routing over ``num_parts`` shards with outage fallback.
+
+    Parameters
+    ----------
+    assignment:
+        Per-node owner array (node id → shard), the same vector a
+        :class:`~repro.partition.partitioned.PartitionedGraph` carries.
+    num_parts:
+        Number of shards in the cluster.
+    """
+
+    def __init__(self, assignment: np.ndarray, num_parts: int) -> None:
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        self.num_parts = int(num_parts)
+        if self.num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        self._down: set = set()
+
+    # -- membership -----------------------------------------------------
+
+    def mark_down(self, part: int) -> None:
+        """Take shard ``part`` out of the routing table.
+
+        Requests owned by a downed shard are rerouted — destination
+        endpoint's owner first, else the first live shard — and pay
+        the extra remote traffic of being served by a non-owner.
+        """
+        if not 0 <= part < self.num_parts:
+            raise ValueError(f"no shard {part} in a "
+                             f"{self.num_parts}-shard cluster")
+        self._down.add(part)
+        if len(self._down) == self.num_parts:
+            self._down.discard(part)
+            raise ClusterDeadError(
+                "cannot mark the last live shard down; the router needs "
+                "at least one shard to route to")
+
+    def mark_up(self, part: int) -> None:
+        """Return a previously downed shard to the routing table."""
+        self._down.discard(part)
+
+    def is_down(self, part: int) -> bool:
+        """Whether shard ``part`` is currently out of the table."""
+        return part in self._down
+
+    @property
+    def live_shards(self) -> List[int]:
+        """Shards currently accepting queries, in worker order."""
+        return [p for p in range(self.num_parts) if p not in self._down]
+
+    # -- routing --------------------------------------------------------
+
+    def route_pairs(self, pairs: np.ndarray) -> Tuple[np.ndarray, int]:
+        """Owner routing with down-shard fallback.
+
+        Returns ``(owners, rerouted)``: the shard each pair is served
+        from, and how many pairs could not use their true owner.
+        """
+        owners = self.assignment[pairs[:, 0]].copy()
+        if not self._down:
+            return owners, 0
+        down = np.isin(owners, sorted(self._down))
+        rerouted = int(down.sum())
+        if rerouted:
+            # Fallback 1: the destination endpoint's owner.
+            dst_owners = self.assignment[pairs[:, 1]]
+            owners[down] = dst_owners[down]
+            # Fallback 2: the first live shard.
+            still_down = np.isin(owners, sorted(self._down))
+            owners[still_down] = self.live_shards[0]
+        return owners, rerouted
+
+
+def guarded_recv(part: int, conn, proc, timeout_s: float,
+                 context: str = "score"):
+    """Read a forked shard child's reply without risking a parent hang.
+
+    Polls in short slices, probing child liveness between slices, and
+    gives up after ``timeout_s`` — the sanctioned direct pipe read for
+    fork-per-shard replies (mirrors the training backend's guarded
+    receive).  Raises :class:`WorkerDiedError` when the child is gone,
+    :class:`WorkerTimeoutError` past the deadline.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if conn.poll(0.05):  # lint: disable=R106
+            try:
+                return conn.recv()  # lint: disable=R106
+            except (EOFError, OSError) as exc:
+                raise WorkerDiedError(part, context) from exc
+        if not proc.is_alive():
+            # Drain anything flushed between the poll and death.
+            if conn.poll(0):  # lint: disable=R106
+                try:
+                    return conn.recv()  # lint: disable=R106
+                except (EOFError, OSError) as exc:
+                    raise WorkerDiedError(part, context) from exc
+            raise WorkerDiedError(part, context)
+        if time.monotonic() > deadline:
+            raise WorkerTimeoutError(part, context, timeout_s)

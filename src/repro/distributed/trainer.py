@@ -513,7 +513,7 @@ class DistributedTrainer:
         try:
             result = self._train_loop()
         finally:
-            backend.shutdown()
+            backend.close()
         if self.observer is not None and backend.parallel:
             # Real elapsed time of the whole run, alongside the modeled
             # (simulated-clock) timeline.

@@ -1,0 +1,97 @@
+"""Serving-path rules.
+
+Online serve handlers answer from the frozen artifact: embeddings come
+from the exported table and any structure they need must flow through
+a charged store method.  A handler that reaches into raw graph state
+(CSR internals, the master feature matrix, a bare
+``GraphNeighborSource``) bypasses the communication accounting the
+load harness reports — the serving twin of worker-side rule R002.
+Serving queues must also be explicitly bounded: an unbounded queue
+turns overload into silent memory growth instead of the measurable
+load shedding the admission-control design promises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .astutils import call_name
+from .registry import Rule, register
+
+#: Queue constructors that accept (and default away) a bound.
+_QUEUE_CALLS = {"deque": "maxlen", "Queue": "maxsize",
+                "LifoQueue": "maxsize", "PriorityQueue": "maxsize"}
+
+
+@register
+class ServeHandlerRule(Rule):
+    """R107: raw graph access or unbounded queues in serve handlers.
+
+    Scope: modules under ``repro/serve/``.  Exempt:
+    ``repro/serve/artifact.py`` — the *offline export* path, which
+    legitimately owns the full graph while materializing embeddings.
+    Online code must read embeddings from the artifact table and fetch
+    structure through charged store methods, and every queue it builds
+    must carry an explicit bound.
+    """
+
+    rule_id = "R107"
+    name = "serve-handler-hygiene"
+    description = ("raw graph access or unbounded queue construction "
+                   "in online serving code")
+
+    _SCOPES = ("repro/serve/",)
+    _EXEMPT = ("repro/serve/artifact.py",)
+    _ADJACENCY_ATTRS = {"indptr", "indices"}
+
+    def applies_to(self, modpath: str) -> bool:
+        """Scope the rule to online serving modules."""
+        return (modpath.startswith(self._SCOPES)
+                and modpath not in self._EXEMPT)
+
+    def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
+        from .engine import Finding
+
+        findings: List[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                if node.attr in self._ADJACENCY_ATTRS:
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=(f"raw CSR access .{node.attr} in serve "
+                                 "code: structure must come from a "
+                                 "charged store method")))
+                elif (node.attr == "features"
+                        and isinstance(node.value, ast.Attribute)
+                        and node.value.attr == "full"):
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=("master feature matrix read "
+                                 "(*.full.features) in serve code: "
+                                 "embeddings come from the artifact "
+                                 "table, features from a charged store")))
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                short = name.split(".")[-1] if name else ""
+                if short == "GraphNeighborSource":
+                    findings.append(Finding(
+                        rule_id=self.rule_id, path=modpath,
+                        line=node.lineno, col=node.col_offset,
+                        message=("raw GraphNeighborSource constructed in "
+                                 "serve code: neighbor lists must be "
+                                 "fetched through a charged store")))
+                elif short in _QUEUE_CALLS:
+                    bound = _QUEUE_CALLS[short]
+                    if not any(kw.arg == bound for kw in node.keywords):
+                        findings.append(Finding(
+                            rule_id=self.rule_id, path=modpath,
+                            line=node.lineno, col=node.col_offset,
+                            message=(f"unbounded {short}() in serve code: "
+                                     f"pass {bound}= — serving queues "
+                                     "must shed load explicitly, not "
+                                     "grow without limit")))
+        return findings

@@ -12,6 +12,7 @@ mid-training checkpoint exercises the exact on-disk format.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Dict, Union, BinaryIO
 
@@ -55,6 +56,31 @@ def load_state_dict(path: PathOrFile) -> Dict[str, np.ndarray]:
             raise ValueError(
                 f"unsupported checkpoint version {version!r}")
         return {k: archive[k].copy() for k in keys if k != _META_KEY}
+
+
+def state_fingerprint(state: Dict[str, np.ndarray]) -> str:
+    """Content hash of a state dict (hex sha256).
+
+    Keys are hashed in sorted order together with each array's shape,
+    dtype and raw bytes, so two models agree on a fingerprint exactly
+    when their parameters are bit-identical.  This is the *model
+    version* used by the inference embedding memo and the serving
+    artifact: any parameter update changes the fingerprint and
+    invalidates everything derived from the old weights.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(state):
+        arr = np.ascontiguousarray(state[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(arr.shape).encode("ascii"))
+        digest.update(str(arr.dtype).encode("ascii"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def model_fingerprint(model: Module) -> str:
+    """Content hash of a module's current parameters (hex sha256)."""
+    return state_fingerprint(model.state_dict())
 
 
 def save_model(model: Module, path: str) -> None:

@@ -1,0 +1,77 @@
+"""Bounded LRU caches with hit/miss counters.
+
+Serving keeps two per-shard caches: one over *embedding rows* fetched
+from other shards (a hit saves the cross-shard feature transfer) and
+one over *neighbor lists* fetched from the graph store for top-k
+exclusion (a hit saves a structure round-trip).  Both only need
+membership plus recency — the numeric payload lives in the artifact's
+embedding table — so the cache tracks keys, not values.
+
+Everything is deterministic: eviction is strict LRU over the exact
+lookup order, so the same request stream always produces the same
+hit/miss sequence (and therefore the same simulated byte charges) on
+every execution backend.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List
+
+
+class LRUCache:
+    """A bounded LRU key set with hit/miss accounting.
+
+    ``capacity = 0`` disables caching: every lookup misses and nothing
+    is retained (useful to measure the uncached baseline).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        # Pure membership probe: no counters, no recency update.
+        return int(key) in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def admit(self, keys: Iterable[int]) -> List[int]:
+        """Record a lookup for every key, in order; return the misses.
+
+        Hits refresh recency; misses are inserted (evicting the least
+        recently used entries past ``capacity``) and returned so the
+        caller can charge the corresponding fetches.  Duplicate keys
+        within one call hit on their second occurrence — exactly the
+        dedup-within-batch rule the training-side accounting uses.
+        """
+        missing: List[int] = []
+        for key in keys:
+            key = int(key)
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                continue
+            self.misses += 1
+            missing.append(key)
+            if self.capacity:
+                self._entries[key] = None
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+        return missing
+
+    def counters(self) -> dict:
+        """Snapshot of the hit/miss counters (plain dict)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._entries)}

@@ -1,0 +1,402 @@
+"""The serving cluster: per-shard replicas answering link queries.
+
+A :class:`ServingCluster` loads a :class:`~repro.serve.artifact.
+ServableArtifact` and serves pairwise-score and top-k requests through
+dynamic micro-batching.  Execution is split into two phases so results
+are bit-identical across execution backends:
+
+1. **Plan (deterministic, parent-side).**  The
+   :class:`~repro.serve.scheduler.MicroBatchScheduler` simulates the
+   whole run on the :class:`~repro.distributed.timeline.HardwareModel`
+   clock — admission, routing (including fault-plan outages via the
+   shared :class:`~repro.distributed.routing.ShardRouter`), bounded
+   queues, flush triggers, LRU cache bookkeeping, byte charges and
+   service times.  No model numerics happen here.
+2. **Execute (embarrassingly parallel).**  Each shard's frozen flush
+   plan — which requests, which exclusion lists — is evaluated
+   against the read-only embedding table and decoder.  Per-request
+   numbers depend only on the artifact and the plan, never on worker
+   interleaving, so the serial, thread and process backends produce
+   byte-identical :class:`~repro.serve.requests.ServeReport` digests.
+
+Serve handlers never touch the raw graph (lint rule R107): embeddings
+come from the artifact's table, and top-k neighbor exclusion goes
+through the master's :class:`~repro.distributed.store.RemoteGraphStore`
+with every fetch charged to the communication meter.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..distributed.comm import FEATURE_ITEMSIZE, CommMeter
+from ..distributed.routing import ShardRouter, guarded_recv
+from ..distributed.timeline import HardwareModel
+from ..faults.errors import WorkerDiedError, WorkerTimeoutError
+from ..faults.plan import FaultPlan
+from ..nn.tensor import Tensor
+from .artifact import ServableArtifact
+from .cache import LRUCache
+from .requests import RequestOutcome, ScoreRequest, ServeReport
+from .scheduler import Flush, MicroBatchScheduler, ServeFaultSchedule
+
+#: Execution backends a cluster can serve on.
+SERVE_BACKENDS = ("serial", "thread", "process")
+
+
+def _resolve_backend(name: str) -> str:
+    """Validate the backend name, degrading ``process`` to ``serial``
+    on platforms without the fork start method (same rule as
+    :func:`repro.distributed.backends.make_backend`)."""
+    if name not in SERVE_BACKENDS:
+        raise ValueError(
+            f"unknown serve backend {name!r}; expected one of "
+            f"{SERVE_BACKENDS}")
+    if name == "process" and "fork" not in mp.get_all_start_methods():
+        warnings.warn(
+            "serve backend 'process' needs the fork start method; "
+            "degrading to 'serial'", RuntimeWarning, stacklevel=3)
+        return "serial"
+    return name
+
+
+class ServingCluster:
+    """Owner-routed, micro-batched serving over a frozen artifact.
+
+    Parameters
+    ----------
+    artifact:
+        The exported servable (embedding table shards + decoder).
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` — how phase-2
+        numerics execute.  All three produce identical reports.
+    store:
+        Optional master graph store used only for top-k neighbor
+        exclusion (known neighbors are not re-recommended); fetches
+        are charged to the serve communication meter.  Without a
+        store, top-k excludes only the query node itself.
+    max_batch / max_delay_s:
+        Micro-batch flush triggers: flush when ``max_batch`` requests
+        wait, or when the oldest has waited ``max_delay_s``.
+    max_queue:
+        Bounded admission queue per shard; arrivals beyond it are
+        load-shed explicitly.
+    embed_cache / neighbor_cache:
+        Per-shard LRU capacities (entries) for remote embedding rows
+        and neighbor lists.  0 disables the cache.
+    plan:
+        Optional :class:`~repro.faults.FaultPlan` of shard outages and
+        stragglers (see :class:`~repro.serve.scheduler.
+        ServeFaultSchedule` for the serving-time semantics).
+    observer:
+        Optional :class:`~repro.obs.observer.RunObserver`; serve spans,
+        latency histograms and queue-depth gauges are emitted per run.
+    """
+
+    def __init__(
+        self,
+        artifact: ServableArtifact,
+        *,
+        backend: str = "serial",
+        store=None,
+        max_batch: int = 8,
+        max_delay_s: float = 2e-3,
+        max_queue: int = 64,
+        embed_cache: int = 256,
+        neighbor_cache: int = 256,
+        hardware: Optional[HardwareModel] = None,
+        plan: Optional[FaultPlan] = None,
+        observer=None,
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.artifact = artifact
+        self.backend = _resolve_backend(backend)
+        self.store = store
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self.max_queue = int(max_queue)
+        self.embed_cache_capacity = int(embed_cache)
+        self.neighbor_cache_capacity = int(neighbor_cache)
+        self.hardware = hardware or HardwareModel()
+        self.plan = plan
+        self.observer = observer
+        self.timeout_s = float(timeout_s)
+        self.num_shards = artifact.num_shards
+        self.table = artifact.embedding_table()
+        self.predictor = artifact.build_predictor()
+        self._owned = [set(nodes.tolist()) for nodes in artifact.shard_nodes]
+        #: Neighbor lists fetched so far (simulation-side value store;
+        #: the LRU caches model what a replica would retain/charge).
+        self._neighbor_lists: Dict[int, np.ndarray] = {}
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the cluster (idempotent; ``serve`` refuses after)."""
+        self._closed = True
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving ---------------------------------------------------------
+
+    def serve(self, workload) -> ServeReport:
+        """Serve one workload to completion; returns the run report.
+
+        Each call is an independent run: fresh router state, fresh
+        caches, fresh meter — so repeated calls (and calls on
+        different backends) are directly comparable.
+        """
+        if self._closed:
+            raise RuntimeError("ServingCluster is closed")
+        # Per-run mutable state (phase 1).
+        self._meter = CommMeter()
+        self._meter.obs = self.observer
+        self._embed_caches = [LRUCache(self.embed_cache_capacity)
+                              for _ in range(self.num_shards)]
+        self._nbr_caches = [LRUCache(self.neighbor_cache_capacity)
+                            for _ in range(self.num_shards)]
+        router = ShardRouter(self.artifact.assignment, self.num_shards)
+        schedule = ServeFaultSchedule(self.plan, self.num_shards)
+        scheduler = MicroBatchScheduler(
+            router, schedule,
+            max_batch=self.max_batch, max_delay_s=self.max_delay_s,
+            max_queue=self.max_queue, flush_cost=self._flush_cost)
+        scheduler.run(workload)
+        # Phase 2: numeric execution of the frozen flush plan.
+        self._execute(scheduler.outcomes, scheduler.flushes)
+        # Phase 3: counters, observability, report.
+        counters = dict(scheduler.counters)
+        counters["embed_cache_hits"] = sum(
+            c.hits for c in self._embed_caches)
+        counters["embed_cache_misses"] = sum(
+            c.misses for c in self._embed_caches)
+        counters["neighbor_cache_hits"] = sum(
+            c.hits for c in self._nbr_caches)
+        counters["neighbor_cache_misses"] = sum(
+            c.misses for c in self._nbr_caches)
+        report = ServeReport(outcomes=scheduler.outcomes,
+                             counters=counters,
+                             comm=self._meter.total(),
+                             backend=self.backend)
+        self._observe(report, scheduler.flushes)
+        return report
+
+    # -- phase 1: deterministic cost model -------------------------------
+
+    def _flush_cost(self, shard: int, batch: List[RequestOutcome]
+                    ) -> Tuple[float, Dict[str, object]]:
+        """Simulated service time + execution metadata for one flush.
+
+        Charges the communication meter for every remote embedding row
+        and neighbor list the shard's caches miss, then prices the
+        flush: one dispatch round-trip, the missed bytes over the
+        link, and decoder compute proportional to scored rows.
+        """
+        embed_dim = self.artifact.embed_dim
+        owned = self._owned[shard]
+        needed: List[int] = []
+        exclusions: Dict[int, np.ndarray] = {}
+        work_rows = 0
+        store_requests = 0
+        for outcome in batch:
+            request = outcome.request
+            if isinstance(request, ScoreRequest):
+                needed.extend(n for n in (request.u, request.v)
+                              if n not in owned)
+                work_rows += 1
+            else:
+                node = request.node
+                if node not in owned:
+                    needed.append(node)
+                # Top-k scores the query node against every candidate;
+                # candidate rows the replica does not own flow through
+                # the embedding cache like any other remote row.
+                needed.extend(n for n in range(self.table.shape[0])
+                              if n != node and n not in owned)
+                work_rows += self.table.shape[0] - 1
+                if self.store is not None:
+                    if self._nbr_caches[shard].admit([node]):
+                        nbrs, _, _ = self.store.neighbors_batch(
+                            np.array([node], dtype=np.int64), self._meter)
+                        self._neighbor_lists[node] = np.unique(nbrs)
+                        store_requests += 1
+                    exclusions[outcome.index] = self._neighbor_lists.get(
+                        node, np.empty(0, dtype=np.int64))
+        missed = self._embed_caches[shard].admit(needed)
+        if missed:
+            self._meter.charge_features(len(missed), embed_dim)
+        transfer_bytes = len(missed) * embed_dim * FEATURE_ITEMSIZE
+        service_s = (
+            self.hardware.request_latency_s * (1 + store_requests)
+            + transfer_bytes / self.hardware.bytes_per_second
+            + work_rows * embed_dim / self.hardware.edges_per_second)
+        meta = {"exclusions": exclusions, "embed_missed": len(missed),
+                "work_rows": work_rows,
+                # Frozen request objects ride along so phase-2 workers
+                # (possibly forked processes) need no outcome list.
+                "requests": {o.index: o.request for o in batch}}
+        return service_s, meta
+
+    # -- phase 2: numeric execution --------------------------------------
+
+    def _execute(self, outcomes: List[RequestOutcome],
+                 flushes: List[Flush]) -> None:
+        """Evaluate every flush's numerics and write results back."""
+        by_shard: Dict[int, List[Flush]] = {}
+        for flush in flushes:
+            by_shard.setdefault(flush.shard, []).append(flush)
+        shards = sorted(by_shard)
+        if self.backend == "serial" or len(shards) <= 1:
+            replies = [self._execute_shard(by_shard[s]) for s in shards]
+        elif self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [pool.submit(self._execute_shard, by_shard[s])
+                           for s in shards]
+                replies = [f.result() for f in futures]
+        else:
+            replies = self._execute_forked(shards, by_shard)
+        for reply in replies:
+            for index, score, topk_nodes, topk_scores in reply:
+                outcome = outcomes[index]
+                outcome.score = score
+                outcome.topk_nodes = topk_nodes
+                outcome.topk_scores = topk_scores
+
+    def _execute_shard(self, flushes: List[Flush]) -> List[tuple]:
+        """Run one shard's flush plan against the read-only table.
+
+        Returns ``(index, score, topk_nodes, topk_scores)`` rows; pure
+        function of the artifact and the plan, so any backend (or a
+        parent-side fallback) computes identical bytes.
+        """
+        results: List[tuple] = []
+        num_nodes = self.table.shape[0]
+        for flush in flushes:
+            exclusions = flush.meta.get("exclusions", {})
+            pair_seqs: List[int] = []
+            pair_u: List[int] = []
+            pair_v: List[int] = []
+            for index in flush.seqs:
+                request = self._request_of(flush, index)
+                if isinstance(request, ScoreRequest):
+                    pair_seqs.append(index)
+                    pair_u.append(request.u)
+                    pair_v.append(request.v)
+                else:
+                    excl = np.asarray(
+                        exclusions.get(index, np.empty(0, dtype=np.int64)),
+                        dtype=np.int64)
+                    mask = np.ones(num_nodes, dtype=bool)
+                    mask[request.node] = False
+                    mask[excl[excl < num_nodes]] = False
+                    candidates = np.flatnonzero(mask).astype(np.int64)
+                    h_u = np.repeat(self.table[request.node][None, :],
+                                    candidates.size, axis=0)
+                    scores = self.predictor(
+                        Tensor(h_u), Tensor(self.table[candidates])).data
+                    # Descending score, ties broken by ascending node id
+                    # — a total order, so top-k is deterministic.
+                    order = np.lexsort((candidates, -scores))
+                    top = order[:request.k]
+                    results.append((index, None,
+                                    candidates[top].copy(),
+                                    scores[top].copy()))
+            if pair_seqs:
+                u_rows = self.table[np.array(pair_u, dtype=np.int64)]
+                v_rows = self.table[np.array(pair_v, dtype=np.int64)]
+                scores = self.predictor(Tensor(u_rows), Tensor(v_rows)).data
+                for outcome_index, score in zip(pair_seqs, scores):
+                    results.append((outcome_index, float(score), None, None))
+        return results
+
+    def _request_of(self, flush: Flush, index: int):
+        """The request object for outcome ``index`` in this flush."""
+        return flush.meta["requests"][index]
+
+    def _execute_forked(self, shards: List[int],
+                        by_shard: Dict[int, List[Flush]]) -> List[list]:
+        """Fork one child per shard (copy-on-write table); collect
+        replies in shard order, recomputing in the parent if a child
+        dies — the plan is frozen, so the fallback is bit-identical."""
+        ctx = mp.get_context("fork")
+        procs, conns = [], []
+        for shard in shards:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_serve_child,
+                args=(self, by_shard[shard], child_conn),
+                daemon=True, name=f"repro-serve-{shard}")
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+        replies: List[list] = []
+        try:
+            for shard, conn, proc in zip(shards, conns, procs):
+                try:
+                    replies.append(guarded_recv(shard, conn, proc,
+                                                self.timeout_s,
+                                                context="serve"))
+                except (WorkerDiedError, WorkerTimeoutError) as exc:
+                    warnings.warn(
+                        f"serve replica {shard} failed ({exc}); "
+                        "recomputing its flushes in the parent",
+                        RuntimeWarning, stacklevel=2)
+                    replies.append(self._execute_shard(by_shard[shard]))
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - hung child
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        return replies
+
+    # -- phase 3: observability ------------------------------------------
+
+    def _observe(self, report: ServeReport, flushes: List[Flush]) -> None:
+        """Emit serve spans, histograms and gauges for the run."""
+        obs = self.observer
+        if obs is None:
+            return
+        with obs.span("serve.run", backend=self.backend,
+                      requests=len(report.outcomes)):
+            clock = 0.0
+            for flush in sorted(flushes, key=lambda f: f.completion_s):
+                with obs.span("serve.flush", shard=flush.shard,
+                              size=len(flush.seqs)):
+                    obs.advance(max(0.0, flush.completion_s - clock))
+                clock = max(clock, flush.completion_s)
+        latency = obs.histogram("serve.latency_s")
+        for value in report.latencies_s():
+            latency.observe(float(value))
+        for key in ("requests", "completed", "shed", "rerouted", "flushes"):
+            obs.counter(f"serve.{key}").inc(report.counters.get(key, 0))
+        obs.counter("serve.embed_cache_hits").inc(
+            report.counters.get("embed_cache_hits", 0))
+        obs.counter("serve.embed_cache_misses").inc(
+            report.counters.get("embed_cache_misses", 0))
+        obs.gauge("serve.queue_depth").set(
+            report.counters.get("max_queue_depth", 0))
+
+
+def _serve_child(cluster: ServingCluster, flushes: List[Flush],
+                 conn) -> None:
+    """Entry point of a forked serve child: evaluate the shard's
+    frozen flush plan against the inherited (copy-on-write) embedding
+    table and ship the result rows back."""
+    try:
+        conn.send(cluster._execute_shard(flushes))
+    finally:
+        conn.close()

@@ -174,6 +174,30 @@ class TestDeprecationShims:
         with pytest.raises(AttributeError):
             repro.does_not_exist
 
+    @pytest.mark.parametrize("name", ["run_framework", "build_trainer"])
+    def test_shim_emits_exactly_one_warning(self, name):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            getattr(repro, name)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert f"repro.{name} is deprecated" in str(deprecations[0].message)
+
+    def test_shim_result_parity(self, split):
+        """Training through the shim gives the same result as the
+        blessed paths — the shim is pure indirection."""
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.run_framework
+        config = resolve_config("smoke", backend="serial", num_workers=2,
+                                hidden_dim=12, epochs=1)
+        old = legacy("psgd_pa", split, 2, config,
+                     rng=np.random.default_rng(config.seed))
+        new = repro.run("psgd_pa", split=split, workers=2, scale="smoke",
+                        hidden_dim=12, epochs=1)
+        assert new.test.hits == old.test.hits
+        assert new.comm_total.to_dict() == old.comm_total.to_dict()
+
 
 class TestSummaries:
     def test_mean_result_summary(self, split):

@@ -210,3 +210,48 @@ class TestObservedParallelRuns:
                                rng=np.random.default_rng(0))
         assert "pool.rounds" not in result.report.metrics
         assert "train.wall_clock_s" not in result.report.metrics
+
+
+class TestIdempotentClose:
+    class _StubTrainer:
+        def __init__(self, n: int = 2):
+            self.workers = [object()] * n
+
+    @pytest.mark.parametrize("factory", [SerialBackend,
+                                         lambda: ThreadBackend(2)])
+    def test_close_shuts_down_exactly_once(self, factory):
+        backend = factory()
+        calls = []
+        real_shutdown = backend.shutdown
+        backend.shutdown = lambda: (calls.append(1), real_shutdown())
+        backend.bind(self._StubTrainer())
+        backend.close()
+        backend.close()
+        backend.close()
+        assert len(calls) == 1
+
+    def test_rebind_rearms_close(self):
+        backend = SerialBackend()
+        backend.bind(self._StubTrainer())
+        backend.close()
+        backend.bind(self._StubTrainer())
+        assert backend.trainer is not None
+        backend.close()
+        assert backend.trainer is None
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    def test_process_backend_survives_double_shutdown(self, split):
+        """train() closes its backend in a finally; closing again by
+        hand must be a no-op, not a crash on dead pipes."""
+        from repro.core.frameworks import FRAMEWORKS, build_trainer
+
+        config = TrainConfig(hidden_dim=12, num_layers=2, fanouts=(4, 4),
+                             epochs=1, batch_size=64, seed=0,
+                             backend="process")
+        trainer = build_trainer(FRAMEWORKS["psgd_pa"], split, 2, config,
+                                rng=np.random.default_rng(0))
+        trainer.train()
+        backend = trainer.backend
+        assert isinstance(backend, ProcessBackend)
+        backend.close()
+        backend.close()

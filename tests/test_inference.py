@@ -120,3 +120,56 @@ class TestInferenceComm:
         pairs = graph.edge_list()[:60]
         assert cheap.score(pairs).comm.graph_data_bytes < \
             costly.score(pairs).comm.graph_data_bytes
+
+
+class TestEmbedMemo:
+    def test_repeat_scoring_hits_memo_not_encoder(self, setting):
+        """Second identical score() call must reuse every memoized
+        embedding: zero fresh computes, nonzero memo hits."""
+        graph, pg, model = setting
+        scorer = DistributedScorer(model, pg, remote=None,
+                                   fanouts=(-1, -1))
+        pairs = graph.edge_list()[:30]
+        first = scorer.score(pairs)
+        computed = scorer.stats["embed_computed"]
+        assert computed > 0
+        second = scorer.score(pairs)
+        assert scorer.stats["embed_computed"] == computed
+        assert scorer.stats["embed_memo_hits"] >= computed
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+    def test_weight_change_invalidates_memo(self, setting):
+        graph, pg, model = setting
+        scorer = DistributedScorer(model, pg, remote=None,
+                                   fanouts=(-1, -1))
+        pairs = graph.edge_list()[:30]
+        scorer.score(pairs)
+        computed = scorer.stats["embed_computed"]
+        param = model.parameters()[0]
+        param.data = param.data + 0.25
+        try:
+            scorer.score(pairs)
+        finally:
+            param.data = param.data - 0.25
+        # The fingerprint changed, so everything recomputed.
+        assert scorer.stats["embed_computed"] == 2 * computed
+
+    def test_sampled_fanouts_disable_memo(self, setting):
+        """A stochastic neighborhood cannot be memoized."""
+        graph, pg, model = setting
+        scorer = DistributedScorer(model, pg, remote=None,
+                                   fanouts=(5, 5))
+        pairs = graph.edge_list()[:30]
+        scorer.score(pairs)
+        scorer.score(pairs)
+        assert scorer.stats["embed_memo_hits"] == 0
+
+    def test_empty_pairs_graceful(self, setting):
+        graph, pg, model = setting
+        scorer = DistributedScorer(model, pg, remote=None,
+                                   fanouts=(-1, -1))
+        result = scorer.score(np.empty((0, 2), dtype=np.int64))
+        assert result.scores.shape == (0,)
+        assert sum(result.pairs_per_worker) == 0
+        assert result.rerouted_pairs == 0
+        assert isinstance(result.summary(), str)
