@@ -14,6 +14,12 @@ python -m pytest -x -q tests/test_backends.py tests/test_api.py
 echo "== repro.lint =="
 python -m repro.lint src/ --format json
 
+echo "== repro.lint --deep (baseline-gated) =="
+python -m repro.lint --deep src/ --baseline lint-baseline.json --format json
+
+echo "== repro.lint (tests/scripts/benchmarks, hygiene subset) =="
+python -m repro.lint --select R001,R101,R102,R103 tests scripts benchmarks
+
 echo "== chaos smoke (fault tolerance) =="
 python -m repro.faults chaos --smoke
 

@@ -67,6 +67,10 @@ BACKEND_NAMES = ("serial", "thread", "process")
 #: when the process exits.
 _LIVE_SHARED_SEGMENTS: List[object] = []
 
+#: Guards ``_LIVE_SHARED_SEGMENTS``: backends may be constructed from
+#: serving threads, so registration must be thread-safe.
+_SHARED_SEGMENTS_LOCK = threading.Lock()
+
 
 @dataclass
 class RoundResult:
@@ -1141,7 +1145,8 @@ def _share_features(graph):
     view[:] = feats
     view.flags.writeable = feats.flags.writeable
     graph.features = view
-    _LIVE_SHARED_SEGMENTS.append((shm, view))
+    with _SHARED_SEGMENTS_LOCK:
+        _LIVE_SHARED_SEGMENTS.append((shm, view))
     return shm
 
 

@@ -1,11 +1,17 @@
 """The lint driver: file discovery, parsing, suppression, dispatch.
 
 The engine parses each module once and hands the tree to every
-applicable rule.  Findings whose line carries a
+applicable rule.  Findings whose *logical statement* carries a
 ``# lint: disable=R001[,R002...]`` (or a bare ``# lint: disable``)
-trailing comment are dropped; suppression comments are read with
-:mod:`tokenize` so string literals that merely *mention* the syntax do
-not suppress anything.
+trailing comment are dropped: a suppression anywhere on a multi-line
+call, and on any decorator of a decorated definition, covers the whole
+statement, not just the comment's physical line.  Suppression comments
+are read with :mod:`tokenize` so string literals that merely *mention*
+the syntax do not suppress anything.
+
+Engine output is deterministic: findings are globally sorted by
+(path, line, col, rule, message) and exact duplicates are removed, so
+``--deep`` baselines and CI diffs are reproducible run to run.
 """
 
 from __future__ import annotations
@@ -73,6 +79,110 @@ def _suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
     return table
 
 
+def _line_groups(source: str,
+                 tree: Optional[ast.AST] = None) -> Dict[int, Set[int]]:
+    """Map each physical line to the lines of its logical statement.
+
+    Built from :mod:`tokenize` logical lines (everything up to a
+    ``NEWLINE`` token is one statement, however many physical lines it
+    spans), then decorator lines are merged with their decorated
+    definition's header so one suppression covers the whole decorated
+    signature.  Lines outside any logical line (blanks, standalone
+    comments) map to themselves.
+    """
+    groups: Dict[int, Set[int]] = {}
+    rows: Set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.NEWLINE:
+                rows.update(range(tok.start[0], tok.end[0] + 1))
+                group = set(rows)
+                for row in group:
+                    groups.setdefault(row, set()).update(group)
+                rows = set()
+            elif tok.type == tokenize.COMMENT:
+                # A comment *inside* an open statement joins it; a
+                # standalone comment line stays its own group (no
+                # comment-above suppression semantics).
+                if rows:
+                    rows.add(tok.start[0])
+            elif tok.type in (tokenize.NL, tokenize.INDENT,
+                              tokenize.DEDENT, tokenize.ENDMARKER):
+                continue
+            else:
+                rows.update(range(tok.start[0], tok.end[0] + 1))
+    except tokenize.TokenError:
+        return {}
+    if tree is not None:
+        for node in ast.walk(tree):
+            decorators = getattr(node, "decorator_list", None)
+            if not decorators:
+                continue
+            merged: Set[int] = set()
+            for line in [d.lineno for d in decorators] + [node.lineno]:
+                merged |= groups.get(line, {line})
+            for row in merged:
+                groups.setdefault(row, set()).update(merged)
+            # Union-closure: every member sees the full merged span.
+            for row in merged:
+                groups[row] |= merged
+    return groups
+
+
+def _apply_suppressions(findings: List[Finding],
+                        suppressed: Dict[int, Optional[Set[str]]],
+                        groups: Dict[int, Set[int]]) -> List[Finding]:
+    """Drop findings whose logical statement carries a suppression."""
+    kept: List[Finding] = []
+    for f in findings:
+        lines = groups.get(f.line, {f.line})
+        silenced = False
+        for line in lines:
+            ids = suppressed.get(line)
+            if line not in suppressed:
+                continue
+            if ids is None or f.rule_id in ids:
+                silenced = True
+                break
+        if not silenced:
+            kept.append(f)
+    return kept
+
+
+def filter_suppressed(findings: List[Finding],
+                      source: str) -> List[Finding]:
+    """Apply one module's suppression comments to external findings.
+
+    Used by :mod:`repro.lint.flow` so deep-analysis findings honor the
+    same ``# lint: disable`` machinery as the per-file rules.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        tree = None
+    return _apply_suppressions(findings, _suppressions(source),
+                               _line_groups(source, tree))
+
+
+def dedupe_sorted(findings: List[Finding]) -> List[Finding]:
+    """Stable-sort findings and drop exact duplicates.
+
+    The sort key (path, line, col, rule, message) is total, so output
+    order is independent of rule registration or path traversal order;
+    duplicates arise when over-approximate analyses reach the same
+    violation through several call paths.
+    """
+    findings = sorted(
+        findings,
+        key=lambda f: (f.path, f.line, f.col, f.rule_id, f.message))
+    out: List[Finding] = []
+    for f in findings:
+        if out and out[-1] == f:
+            continue
+        out.append(f)
+    return out
+
+
 def _module_path(path: Path) -> str:
     """Path rooted at the ``repro`` package when possible.
 
@@ -112,20 +222,14 @@ class LintEngine:
             return [Finding(rule_id="E999", path=modpath,
                             line=exc.lineno or 0, col=exc.offset or 0,
                             message=f"syntax error: {exc.msg}")]
-        suppressed = _suppressions(source)
         findings: List[Finding] = []
         for rule in self.rules:
             if not rule.applies_to(modpath):
                 continue
             findings.extend(rule.check(tree, modpath))
-        kept = []
-        for f in findings:
-            ids = suppressed.get(f.line, set())
-            if ids is None or (ids and f.rule_id in ids):
-                continue
-            kept.append(f)
-        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-        return kept
+        kept = _apply_suppressions(findings, _suppressions(source),
+                                   _line_groups(source, tree))
+        return dedupe_sorted(kept)
 
     def check_file(self, path: Path) -> List[Finding]:
         """Lint a single file from disk."""
@@ -133,12 +237,16 @@ class LintEngine:
         return self.check_source(source, _module_path(path))
 
     def check_paths(self, paths: Sequence[Path]) -> List[Finding]:
-        """Lint files and directory trees (recursively)."""
+        """Lint files and directory trees (recursively).
+
+        Findings come back globally sorted and deduplicated regardless
+        of how many roots were given or in what order.
+        """
         findings: List[Finding] = []
         for path in paths:
             for file in sorted(_iter_python_files(path)):
                 findings.extend(self.check_file(file))
-        return findings
+        return dedupe_sorted(findings)
 
 
 def _iter_python_files(root: Path) -> Iterable[Path]:

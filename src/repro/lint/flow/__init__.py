@@ -1,0 +1,92 @@
+"""repro.lint.flow — whole-program determinism & concurrency analyses.
+
+The per-file rules (R001–R107) see one module at a time, so they can
+only enforce the repo's determinism and byte-accounting invariants at
+the call-site level.  This package parses the whole project once and
+proves the same invariants *interprocedurally*:
+
+* :class:`~repro.lint.flow.symbols.ProjectIndex` — every module parsed
+  once, with import resolution, module-global classification and a
+  symbol table of functions/classes.
+* :class:`~repro.lint.flow.callgraph.CallGraph` — best-effort static
+  call edges (module functions, ``self`` methods, imported names, and a
+  duck-typed over-approximation for attribute calls).
+* :mod:`~repro.lint.flow.cfg` — per-function control-flow graphs with
+  ``try``/``finally`` modelling, used for path queries ("does every
+  path from here to an exit pass a charge/release?").
+* :mod:`~repro.lint.flow.taint` — a small abstract interpreter for
+  ``numpy.random.Generator`` provenance (SEEDED / UNSEEDED / TRUSTED).
+* :mod:`~repro.lint.flow.analyses` — the four deep checks F201–F204.
+* :mod:`~repro.lint.flow.baseline` — accepted-findings files so the
+  ``--deep`` CI gate only fails on *new* violations.
+
+Run it as ``python -m repro.lint --deep src/``; see ``docs/lint.md``
+for the catalogue and the baseline workflow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from ..engine import Finding, _iter_python_files, filter_suppressed
+from .analyses import DEEP_ANALYSES, run_analyses
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .symbols import ProjectIndex
+
+__all__ = [
+    "DEEP_ANALYSES",
+    "ProjectIndex",
+    "analyze_paths",
+    "analyze_sources",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+
+def analyze_sources(sources: dict, select: Optional[Iterable[str]] = None
+                    ) -> List[Finding]:
+    """Run the deep analyses over ``{modpath: source}`` mappings.
+
+    Returns suppression-filtered findings in deterministic
+    (path, line, col, rule, message) order.  Sources that fail to parse
+    are skipped here — the per-file engine already reports them as
+    ``E999`` findings.
+    """
+    index = ProjectIndex.from_sources(sources)
+    findings = run_analyses(index, select=select)
+    kept: List[Finding] = []
+    by_path: dict = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for modpath in sorted(by_path):
+        source = sources.get(modpath)
+        if source is None:
+            kept.extend(by_path[modpath])
+            continue
+        kept.extend(filter_suppressed(by_path[modpath], source))
+    seen = set()
+    unique: List[Finding] = []
+    for finding in sorted(
+            kept, key=lambda f: (f.path, f.line, f.col, f.rule_id,
+                                 f.message)):
+        key = (finding.rule_id, finding.path, finding.line, finding.col,
+               finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(finding)
+    return unique
+
+
+def analyze_paths(paths: Sequence, select: Optional[Iterable[str]] = None
+                  ) -> List[Finding]:
+    """Run the deep analyses over files and directory trees."""
+    from ..engine import _module_path
+
+    sources: dict = {}
+    for path in paths:
+        for file in sorted(_iter_python_files(Path(path))):
+            sources[_module_path(file)] = file.read_text(encoding="utf-8")
+    return analyze_sources(sources, select=select)

@@ -1,0 +1,446 @@
+"""The four interprocedural analyses (F201–F204).
+
+Each analysis consumes the shared :class:`ProjectIndex` /
+:class:`CallGraph` pair and emits ordinary
+:class:`~repro.lint.engine.Finding` objects, so the existing
+suppression machinery, reporters and CI gates apply unchanged.
+
+================ ======================================================
+F201             RNG-seed taint: a provably unseeded generator reaches
+                 a sampling draw (interprocedural upgrade of R001).
+F202             Worker shared-state race: code reachable from an
+                 execution-backend submit target writes a module-level
+                 mutable global without synchronization.
+F203             CommMeter completeness: a function that materializes a
+                 feature/structure payload and holds a ``meter`` can
+                 return it on a path that never charges the meter.
+F204             Worker-IO exception safety: a resource acquired in
+                 worker-path code is not released on every CFG path to
+                 the function exit (interprocedural upgrade of R106).
+================ ======================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..astutils import call_name
+from ..engine import Finding
+from .callgraph import CallGraph
+from .cfg import CFG, Node
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
+from .taint import GenTaint
+
+#: Catalogue of the deep analyses: id → (name, description).
+DEEP_ANALYSES = {
+    "F201": ("rng-seed-taint",
+             "a provably unseeded numpy Generator reaches a sampling "
+             "draw (dataflow upgrade of R001)"),
+    "F202": ("worker-shared-state-race",
+             "worker-executed code writes a module-level mutable "
+             "global without synchronization"),
+    "F203": ("commmeter-completeness",
+             "a payload-materializing function can return without "
+             "charging the CommMeter on some path"),
+    "F204": ("worker-io-exception-safety",
+             "a resource acquired on the worker path is not released "
+             "on every path to the function exit (upgrade of R106)"),
+}
+
+#: Container methods that mutate their receiver in place (F202).
+_MUTATING_METHODS = {
+    "append", "add", "update", "extend", "insert", "pop", "popitem",
+    "setdefault", "remove", "discard", "clear", "appendleft",
+    "extendleft", "popleft", "sort", "reverse",
+}
+
+#: Lock-ish names: a ``with <lock>:`` block counts as synchronization.
+_LOCK_HINTS = ("lock", "mutex", "guard", "sem", "cond")
+
+#: F204 acquisition table: callee tail name → release method names.
+_ACQUIRE_RELEASES = {
+    "open": {"close"},
+    "SharedMemory": {"close", "unlink"},
+    "ThreadPoolExecutor": {"shutdown"},
+    "ProcessPoolExecutor": {"shutdown"},
+    "Pool": {"close", "terminate", "join"},
+    "Pipe": {"close"},
+    "socket": {"close", "shutdown"},
+}
+
+#: Payload-materializing reads for F203.
+_PAYLOAD_CALLS = {"neighbors_batch", "complete_neighbors_batch",
+                  "fetch_features", "local_feature_rows"}
+
+
+def run_analyses(index: ProjectIndex,
+                 select: Optional[Iterable[str]] = None) -> List[Finding]:
+    """Run every (selected) deep analysis over the project index."""
+    wanted = ({rid.upper() for rid in select} if select is not None
+              else set(DEEP_ANALYSES))
+    unknown = wanted - set(DEEP_ANALYSES)
+    if unknown:
+        raise KeyError(f"unknown deep analyses: {sorted(unknown)}")
+    graph = CallGraph(index)
+    findings: List[Finding] = []
+    if "F201" in wanted:
+        findings.extend(_f201_rng_taint(index, graph))
+    if "F202" in wanted:
+        findings.extend(_f202_worker_races(index, graph))
+    if "F203" in wanted:
+        findings.extend(_f203_meter_completeness(index))
+    if "F204" in wanted:
+        findings.extend(_f204_resource_safety(index, graph))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# F201 — RNG-seed taint
+# ----------------------------------------------------------------------
+
+
+def _f201_rng_taint(index: ProjectIndex, graph: CallGraph
+                    ) -> List[Finding]:
+    taint = GenTaint(index, graph)
+    findings = []
+    for info, node, detail in taint.violations():
+        findings.append(Finding(
+            rule_id="F201", path=info.modpath, line=node.lineno,
+            col=node.col_offset,
+            message=(f"in {info.name}(): {detail}; every generator "
+                     "must be derivable from a seeded root "
+                     "(ensure_rng / default_rng(seed) / spawn)")))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# F202 — worker shared-state races
+# ----------------------------------------------------------------------
+
+
+def _f202_worker_races(index: ProjectIndex, graph: CallGraph
+                       ) -> List[Finding]:
+    reachable, why = graph.worker_reachable()
+    findings: List[Finding] = []
+    for qname in sorted(reachable):
+        info = index.functions.get(qname)
+        if info is None:
+            continue
+        mod = index.module_of(info)
+        root = why.get(qname, qname)
+        synced = _synchronized_nodes(info.node)
+        declared_global = {
+            name for node in ast.walk(info.node)
+            if isinstance(node, ast.Global) for name in node.names}
+        for node in ast.walk(info.node):
+            target_name, verb = _global_write(node, mod, declared_global,
+                                              index)
+            if target_name is None:
+                continue
+            if id(node) in synced:
+                continue
+            findings.append(Finding(
+                rule_id="F202", path=info.modpath, line=node.lineno,
+                col=node.col_offset,
+                message=(f"{info.name}() is worker-executed (reachable "
+                         f"from {root.rsplit('.', 1)[-1]}) and {verb} "
+                         f"module-level state {target_name!r} without "
+                         "synchronization; keep worker state "
+                         "worker-local or guard it with a lock")))
+    return findings
+
+
+def _global_write(node: ast.AST, mod: ModuleInfo,
+                  declared_global: Set[str], index: ProjectIndex):
+    """Classify one AST node as a module-global write, if it is one.
+
+    Returns ``(name, verb)`` or ``(None, None)``.  Covers rebinding
+    through a ``global`` declaration, in-place container mutation
+    (``CACHE.append(...)``, ``CACHE[k] = v``, ``del CACHE[k]``,
+    ``CACHE += ...``) and attribute stores on module-level containers.
+    Names imported from sibling modules resolve through the import
+    table, so mutating another module's global is caught too.
+    """
+
+    def is_module_global(name: str) -> bool:
+        if name in mod.mutable_globals:
+            return True
+        target = mod.imports.get(name)
+        if target and "." in target:
+            owner, bare = target.rsplit(".", 1)
+            owner_mod = index.modules.get(owner)
+            return (owner_mod is not None
+                    and bare in owner_mod.mutable_globals)
+        return False
+
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in declared_global:
+                    return target.id, "rebinds"
+                if (isinstance(node, ast.AugAssign)
+                        and is_module_global(target.id)):
+                    return target.id, "mutates"
+            elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                base = target.value
+                if isinstance(base, ast.Name) and (
+                        is_module_global(base.id)
+                        or base.id in declared_global):
+                    return base.id, "writes into"
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and \
+                    isinstance(target.value, ast.Name) and \
+                    is_module_global(target.value.id):
+                return target.value.id, "deletes from"
+    elif isinstance(node, ast.Call) and isinstance(node.func,
+                                                   ast.Attribute):
+        base = node.func.value
+        if (node.func.attr in _MUTATING_METHODS
+                and isinstance(base, ast.Name)
+                and is_module_global(base.id)):
+            return base.id, f"mutates (.{node.func.attr})"
+    return None, None
+
+
+def _synchronized_nodes(func_node) -> Set[int]:
+    """ids of AST nodes lexically inside a ``with <lock-ish>:`` block."""
+    out: Set[int] = set()
+    for node in ast.walk(func_node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        guarded = False
+        for item in node.items:
+            name = call_name(item.context_expr) \
+                if isinstance(item.context_expr, ast.Call) \
+                else _dotted(item.context_expr)
+            lowered = (name or "").lower()
+            if any(hint in lowered for hint in _LOCK_HINTS):
+                guarded = True
+        if guarded:
+            for stmt in node.body:
+                out.update(id(sub) for sub in ast.walk(stmt))
+    return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    from ..astutils import dotted_name
+    return dotted_name(node)
+
+
+# ----------------------------------------------------------------------
+# F203 — CommMeter completeness
+# ----------------------------------------------------------------------
+
+
+def _f203_meter_completeness(index: ProjectIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    for qname in sorted(index.functions):
+        info = index.functions[qname]
+        if "meter" not in info.params:
+            continue
+        if not _materializes_payload(info.node):
+            continue
+        cfg = CFG(info.node)
+        charge = _charge_predicate(cfg)
+        for ret in cfg.return_nodes():
+            value = ret.stmt.value
+            if value is None or (isinstance(value, ast.Constant)
+                                 and value.value is None):
+                continue
+            if charge(ret):
+                # ``return store.fetch_features(nodes, meter)`` — the
+                # return itself charges (or delegates the charge).
+                continue
+            if cfg.has_path(cfg.entry, ret, avoid=charge):
+                findings.append(Finding(
+                    rule_id="F203", path=info.modpath,
+                    line=ret.stmt.lineno, col=ret.stmt.col_offset,
+                    message=(f"{info.name}() returns a materialized "
+                             "payload on a path that never charges the "
+                             "CommMeter; every served byte must be "
+                             "accounted before it leaves the store")))
+    return findings
+
+
+def _materializes_payload(func_node) -> bool:
+    """Whether a function body reads feature rows / neighbor lists."""
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Subscript) and \
+                isinstance(node.value, ast.Attribute) and \
+                node.value.attr == "features":
+            return True
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _PAYLOAD_CALLS:
+            return True
+    return False
+
+
+def _charge_predicate(cfg: CFG):
+    """Predicate: CFG nodes that charge the meter.
+
+    Three idioms satisfy the invariant:
+
+    * a direct ``meter.charge_*`` / ``meter.absorb`` statement;
+    * an ``if`` whose test mentions ``meter`` and whose body contains a
+      charge — the canonical ``if meter is not None: charge`` guard
+      charges on exactly the paths where accounting is enabled;
+    * a *delegating* payload call that forwards ``meter`` to another
+      store (``self._store.fetch_features(nodes, meter)``): the callee
+      is then the charging boundary, as in the audit/sparsifier
+      wrappers and the worker views.
+    """
+
+    def has_charge(tree: ast.AST) -> bool:
+        for sub in ast.walk(tree):
+            if not isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub.func, ast.Attribute) and \
+                    (sub.func.attr.startswith("charge")
+                     or sub.func.attr == "absorb"):
+                return True
+            if _delegates_meter(sub):
+                return True
+        return False
+
+    def pred(node: Node) -> bool:
+        stmt = node.stmt
+        if stmt is None:
+            return False
+        if isinstance(stmt, ast.If):
+            mentions_meter = any(
+                isinstance(sub, ast.Name) and sub.id == "meter"
+                for sub in ast.walk(stmt.test))
+            if mentions_meter and (any(map(has_charge, stmt.body))
+                                   or any(map(has_charge, stmt.orelse))):
+                return True
+            return False
+        return any(has_charge(n) for n in node.match_nodes()
+                   if isinstance(n, ast.Call))
+
+    return pred
+
+
+def _delegates_meter(call: ast.Call) -> bool:
+    """Whether ``call`` forwards ``meter`` into a payload call."""
+    if not (isinstance(call.func, ast.Attribute)
+            and call.func.attr in _PAYLOAD_CALLS):
+        return False
+    args = list(call.args) + [kw.value for kw in call.keywords]
+    return any(isinstance(a, ast.Name) and a.id == "meter" for a in args)
+
+
+# ----------------------------------------------------------------------
+# F204 — worker-IO exception safety
+# ----------------------------------------------------------------------
+
+
+def _f204_resource_safety(index: ProjectIndex, graph: CallGraph
+                          ) -> List[Finding]:
+    reachable, _ = graph.worker_reachable()
+    findings: List[Finding] = []
+    for qname in sorted(index.functions):
+        info = index.functions[qname]
+        on_worker_path = (
+            qname in reachable
+            or info.modpath.startswith("repro/distributed/")
+            or info.modpath.startswith("repro/serve/"))
+        if not on_worker_path:
+            continue
+        findings.extend(_check_function_resources(info))
+    return findings
+
+
+def _check_function_resources(info: FunctionInfo) -> List[Finding]:
+    func_node = info.node
+    acquisitions = []  # (var name, assign stmt, release method names)
+    for stmt in ast.walk(func_node):
+        if not isinstance(stmt, ast.Assign) or \
+                not isinstance(stmt.value, ast.Call):
+            continue
+        name = call_name(stmt.value)
+        if name is None:
+            continue
+        tail = name.split(".")[-1]
+        releases = _ACQUIRE_RELEASES.get(tail)
+        if releases is None:
+            continue
+        targets = stmt.targets[0] if len(stmt.targets) == 1 else None
+        if isinstance(targets, ast.Name):
+            acquisitions.append((targets.id, stmt, releases))
+        elif isinstance(targets, ast.Tuple) and tail == "Pipe":
+            for elt in targets.elts:
+                if isinstance(elt, ast.Name):
+                    acquisitions.append((elt.id, stmt, releases))
+    if not acquisitions:
+        return []
+    escaped = _escaped_names(func_node)
+    cfg = CFG(func_node)
+    node_of_stmt = {id(n.stmt): n for n in cfg.statement_nodes()}
+    findings: List[Finding] = []
+    for var, stmt, releases in acquisitions:
+        if var in escaped:
+            continue
+        acq_node = node_of_stmt.get(id(stmt))
+        if acq_node is None:
+            continue
+        release_pred = _release_predicate(var, releases)
+        if cfg.has_path(acq_node, cfg.exit, avoid=release_pred):
+            findings.append(Finding(
+                rule_id="F204", path=info.modpath, line=stmt.lineno,
+                col=stmt.col_offset,
+                message=(f"in {info.name}(): {var!r} "
+                         "is acquired but not released on every path "
+                         "to the function exit; close it in a "
+                         "finally/with or on each early return "
+                         f"(expected one of: "
+                         f"{', '.join(sorted(releases))})")))
+    return findings
+
+
+def _escaped_names(func_node) -> Set[str]:
+    """Local names whose resource escapes the function.
+
+    Returning the value, storing it into an attribute / subscript /
+    container, or yielding it transfers ownership — the acquiring
+    function is no longer responsible for the release.
+    """
+    escaped: Set[str] = set()
+
+    def names_in(expr: ast.AST) -> Iterable[str]:
+        return (n.id for n in ast.walk(expr) if isinstance(n, ast.Name))
+
+    for node in ast.walk(func_node):
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                escaped.update(names_in(node.value))
+        elif isinstance(node, ast.Assign):
+            if any(isinstance(t, (ast.Attribute, ast.Subscript))
+                   for t in node.targets):
+                escaped.update(names_in(node.value))
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATING_METHODS:
+            for arg in node.args:
+                escaped.update(names_in(arg))
+    return escaped
+
+
+def _release_predicate(var: str, releases: Set[str]):
+    """Predicate: CFG nodes that release local resource ``var``."""
+
+    def pred(node: Node) -> bool:
+        for sub in node.match_nodes():
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr in releases and \
+                    isinstance(sub.func.value, ast.Name) and \
+                    sub.func.value.id == var:
+                return True
+        return False
+
+    return pred

@@ -1,0 +1,82 @@
+"""Baseline files: accepted findings the ``--deep`` gate tolerates.
+
+A baseline records findings that were reviewed and deliberately
+accepted (or are queued for a later fix), so CI fails only on *new*
+violations.  Entries are line-insensitive — they key on
+``(rule, path, message)`` with a count — because deep findings shift
+lines on every unrelated edit; a count increase (a genuinely new
+instance of an accepted pattern) still fails the gate.
+
+Workflow::
+
+    python -m repro.lint --deep src/ --write-baseline lint-baseline.json
+    # review the file, commit it; CI then runs
+    python -m repro.lint --deep src/ --baseline lint-baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..engine import Finding
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path) -> Dict[Key, int]:
+    """Parse a baseline file into ``(rule, path, message) → count``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}")
+    table: Dict[Key, int] = {}
+    for entry in payload.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        table[key] = table.get(key, 0) + int(entry.get("count", 1))
+    return table
+
+
+def write_baseline(path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    counts = Counter(_key(f) for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.lint --deep",
+        "findings": [
+            {"rule": rule, "path": modpath, "message": message,
+             "count": count}
+            for (rule, modpath, message), count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Dict[Key, int]) -> List[Finding]:
+    """Drop findings covered by the baseline (up to each entry's count).
+
+    Findings arrive in deterministic order, so which instances are
+    absorbed when a file has more matches than its baseline count is
+    stable run to run.
+    """
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            continue
+        kept.append(finding)
+    return kept

@@ -1,0 +1,277 @@
+"""Per-function control-flow graphs.
+
+Statement-granular CFGs supporting the path queries the deep analyses
+ask: *does there exist a path from A to B that avoids every node
+matching a predicate?*  (F203: entry → return avoiding meter charges;
+F204: acquisition → exit avoiding releases.)
+
+Modelling choices, chosen to keep the graph small and the queries
+honest:
+
+* ``try``/``finally`` — the finalizer body is built once.  Normal
+  completion flows through it to the next statement; abrupt
+  completions (``return``, uncaught exceptions) flow through it and
+  onward through any enclosing finalizers to the function exit — so a
+  release inside a ``finally`` protects *every* path, which is exactly
+  the property F204 verifies.
+* implicit exceptions — every statement lexically inside a ``try``
+  body gets an edge to that try's handlers (any call can raise).  When
+  a try has no handlers, those same statements route through its
+  finalizer to the exit.  Statements outside any ``try`` are assumed
+  not to raise: "this call might throw before the release" only
+  produces findings where a handler or finalizer exists to model it.
+* compound statements — the node for an ``if``/``while``/``for``
+  holds only its *header* expressions (test / iterator); body
+  statements get their own nodes.  :meth:`Node.match_nodes` yields
+  exactly the AST covered by the node, so predicates never
+  accidentally match inside a nested block or function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterable, List, Optional, Set
+
+
+class Node:
+    """One CFG node: a statement, or a virtual entry/exit marker."""
+
+    __slots__ = ("stmt", "succs", "kind")
+
+    def __init__(self, stmt: Optional[ast.stmt], kind: str = "stmt"
+                 ) -> None:
+        self.stmt = stmt
+        self.kind = kind
+        self.succs: List["Node"] = []
+
+    def link(self, other: "Node") -> None:
+        """Add an edge to ``other`` (duplicates collapsed)."""
+        if other not in self.succs:
+            self.succs.append(other)
+
+    def match_nodes(self) -> Iterable[ast.AST]:
+        """AST nodes this CFG node *owns* (headers only for compounds)."""
+        stmt = self.stmt
+        if stmt is None:
+            return ()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Try)):
+            return ()
+        if isinstance(stmt, ast.ExceptHandler):
+            return ast.walk(stmt.type) if stmt.type is not None else ()
+        if isinstance(stmt, ast.If):
+            return ast.walk(stmt.test)
+        if isinstance(stmt, ast.While):
+            return ast.walk(stmt.test)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return list(ast.walk(stmt.target)) + list(ast.walk(stmt.iter))
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            out: List[ast.AST] = []
+            for item in stmt.items:
+                out.extend(ast.walk(item.context_expr))
+                if item.optional_vars is not None:
+                    out.extend(ast.walk(item.optional_vars))
+            return out
+        return ast.walk(stmt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.stmt is None:
+            return f"<{self.kind}>"
+        return f"<{type(self.stmt).__name__}:{self.stmt.lineno}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func_node) -> None:
+        self.func = func_node
+        self.entry = Node(None, "entry")
+        self.exit = Node(None, "exit")
+        self.nodes: List[Node] = [self.entry, self.exit]
+        builder = _Builder(self)
+        ends = builder.build_body(func_node.body, [self.entry])
+        for end in ends:
+            end.link(self.exit)
+
+    def new_node(self, stmt, kind: str = "stmt") -> Node:
+        """Allocate and register a node."""
+        node = Node(stmt, kind)
+        self.nodes.append(node)
+        return node
+
+    # -- queries --------------------------------------------------------
+
+    def statement_nodes(self) -> List[Node]:
+        """Every non-virtual node, in creation (source) order."""
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def return_nodes(self) -> List[Node]:
+        """Nodes for ``return`` statements."""
+        return [n for n in self.nodes
+                if n.stmt is not None and isinstance(n.stmt, ast.Return)]
+
+    def has_path(self, start: Node, target: Node,
+                 avoid: Callable[[Node], bool]) -> bool:
+        """True when some path ``start → target`` avoids ``avoid`` nodes.
+
+        ``start`` itself is not tested against ``avoid``; intermediate
+        nodes are, and ``target`` is reached the moment an edge lands
+        on it.
+        """
+        seen: Set[int] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            for succ in node.succs:
+                if succ is target:
+                    return True
+                if avoid(succ):
+                    continue
+                stack.append(succ)
+        return False
+
+
+class _TryCtx:
+    """Build-time bookkeeping for one enclosing ``try`` statement."""
+
+    __slots__ = ("stmt", "raisers", "returners")
+
+    def __init__(self, stmt: ast.Try) -> None:
+        self.stmt = stmt
+        #: Nodes inside the body that may raise (≈ every statement).
+        self.raisers: List[Node] = []
+        #: Abrupt completions that must thread through the finalizer.
+        self.returners: List[Node] = []
+
+
+class _Builder:
+    """Recursive statement-list → CFG translation."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.try_stack: List[_TryCtx] = []
+        self.break_targets: List[List[Node]] = []
+        self.continue_targets: List[Node] = []
+
+    # Each build_* returns the list of "open ends": nodes whose normal
+    # completion flows to whatever comes next.
+
+    def build_body(self, stmts: List[ast.stmt], preds: List[Node]
+                   ) -> List[Node]:
+        """Wire a statement list after ``preds``; return its open ends."""
+        current = preds
+        for stmt in stmts:
+            current = self.build_stmt(stmt, current)
+            if not current:
+                break  # unreachable code after return/raise/...
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, preds: List[Node]) -> List[Node]:
+        node = self.cfg.new_node(stmt)
+        for pred in preds:
+            pred.link(node)
+        if self.try_stack:
+            self.try_stack[-1].raisers.append(node)
+        if isinstance(stmt, ast.If):
+            body_ends = self.build_body(stmt.body, [node])
+            if stmt.orelse:
+                else_ends = self.build_body(stmt.orelse, [node])
+                return body_ends + else_ends
+            return body_ends + [node]
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: List[Node] = []
+            self.break_targets.append(breaks)
+            self.continue_targets.append(node)
+            body_ends = self.build_body(stmt.body, [node])
+            for end in body_ends:
+                end.link(node)
+            self.continue_targets.pop()
+            self.break_targets.pop()
+            else_ends = (self.build_body(stmt.orelse, [node])
+                         if stmt.orelse else [node])
+            return else_ends + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.build_body(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, node)
+        if isinstance(stmt, ast.Return):
+            self._route_abrupt([node])
+            return []
+        if isinstance(stmt, ast.Raise):
+            # Reaches the innermost handlers (wired in _build_try via
+            # the raisers list) and, uncaught, escapes through the
+            # finalizer chain.
+            if not self.try_stack:
+                node.link(self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.break_targets:
+                self.break_targets[-1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.continue_targets:
+                node.link(self.continue_targets[-1])
+            return []
+        return [node]
+
+    # -- try / finally ---------------------------------------------------
+
+    def _build_try(self, stmt: ast.Try, node: Node) -> List[Node]:
+        ctx = _TryCtx(stmt)
+        self.try_stack.append(ctx)
+        body_ends = self.build_body(stmt.body, [node])
+        self.try_stack.pop()
+
+        # Handlers: every body statement may raise into each of them.
+        # Handler bodies are built with the *outer* try context active,
+        # so a raise inside a handler propagates outward correctly.
+        handler_ends: List[Node] = []
+        handler_entries: List[Node] = []
+        for handler in stmt.handlers:
+            hnode = self.cfg.new_node(handler)
+            handler_entries.append(hnode)
+            if self.try_stack:
+                self.try_stack[-1].raisers.append(hnode)
+            handler_ends.extend(self.build_body(handler.body, [hnode]))
+        for raiser in ctx.raisers:
+            for hentry in handler_entries:
+                raiser.link(hentry)
+
+        else_ends = (self.build_body(stmt.orelse, body_ends)
+                     if stmt.orelse else body_ends)
+        normal_ends = else_ends + handler_ends
+
+        # Uncaught exceptions: with no handler to swallow them, every
+        # body statement's exception escapes abruptly.
+        escaping = list(ctx.returners)
+        if not stmt.handlers:
+            escaping.extend(ctx.raisers)
+
+        if not stmt.finalbody:
+            self._route_abrupt(escaping)
+            return normal_ends
+
+        fentry = self.cfg.new_node(None, "finally")
+        for end in normal_ends:
+            end.link(fentry)
+        for n in escaping:
+            n.link(fentry)
+        fends = self.build_body(stmt.finalbody, [fentry])
+        if escaping:
+            self._route_abrupt(list(fends))
+        return fends if normal_ends else []
+
+    def _route_abrupt(self, nodes: List[Node]) -> None:
+        """Thread abrupt completions through the innermost enclosing
+        finalizer, or straight to the function exit."""
+        if not nodes:
+            return
+        for ctx in reversed(self.try_stack):
+            if ctx.stmt.finalbody:
+                ctx.returners.extend(nodes)
+                return
+        for node in nodes:
+            node.link(self.cfg.exit)

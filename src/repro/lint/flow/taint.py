@@ -1,0 +1,334 @@
+"""RNG-provenance taint engine (the dataflow half of F201).
+
+A tiny abstract interpreter over ``numpy.random`` generator values.
+Every expression evaluates to one of three abstract states —
+
+* ``SEEDED`` — provably derived from a seeded root: ``ensure_rng``,
+  ``default_rng(seed)``, ``Generator(PCG64(seed))``, ``.spawn()`` /
+  ``.jumped()`` of a seeded generator, or a project function proved to
+  return one;
+* ``UNSEEDED`` — provably fresh OS entropy: ``default_rng()`` /
+  ``default_rng(None)``, an argument-less bit-generator or
+  ``SeedSequence`` constructor, or anything derived from those;
+* ``TRUSTED`` — not statically resolvable (attributes, config values,
+  foreign calls).  The analysis only *flags what it can prove*, so
+  unknown provenance is trusted rather than reported —
+
+plus a symbolic ``PARAM(i)`` marker so provenance flows through
+function parameters and return values across module boundaries.
+
+Findings fire when an ``UNSEEDED`` value reaches a *sampling sink*: a
+draw method on the generator itself, or a call that passes it into a
+project function whose parameter (transitively) reaches such a sink.
+This upgrades rule R001 from a call-site heuristic to an
+interprocedural proof: ``Generator(PCG64())`` built in one module and
+consumed by a sampler two calls away is caught at the consuming line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..astutils import call_name, is_numpy_alias
+from .callgraph import CallGraph
+from .symbols import FunctionInfo, ModuleInfo, ProjectIndex
+
+SEEDED = "SEEDED"
+UNSEEDED = "UNSEEDED"
+TRUSTED = "TRUSTED"
+
+#: Generator methods that consume randomness (the sinks).
+SINK_METHODS = {
+    "integers", "random", "choice", "permutation", "permuted", "shuffle",
+    "normal", "standard_normal", "uniform", "binomial", "poisson",
+    "exponential", "geometric", "multivariate_normal", "bytes",
+    "standard_exponential", "standard_gamma",
+}
+
+#: Bit-generator / seed-sequence constructors: unseeded without args.
+ENTROPY_CTORS = {"PCG64", "MT19937", "Philox", "SFC64", "SeedSequence"}
+
+#: Generator-propagating methods: state flows receiver → result.
+_PROPAGATING = {"spawn", "jumped"}
+
+
+def _is_param(state) -> bool:
+    return isinstance(state, tuple) and state[0] == "PARAM"
+
+
+def join(*states):
+    """Abstract join: UNSEEDED dominates, then SEEDED, then TRUSTED.
+
+    Symbolic ``PARAM`` markers survive only a unanimous join; a mix of
+    parameter flow and concrete states degrades to TRUSTED (never
+    flagged) — the analysis only reports what it can prove.
+    """
+    concrete = [s for s in states if not _is_param(s)]
+    params = [s for s in states if _is_param(s)]
+    if params and not concrete:
+        return params[0] if all(p == params[0] for p in params) else TRUSTED
+    if params:
+        return TRUSTED
+    if UNSEEDED in concrete:
+        return UNSEEDED
+    if SEEDED in concrete:
+        return SEEDED
+    return TRUSTED
+
+
+class GenTaint:
+    """Interprocedural generator-provenance analysis."""
+
+    #: Recursion fuse for cross-function evaluation.
+    _MAX_DEPTH = 8
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self._summaries: Dict[str, object] = {}
+        self._summary_stack: Set[str] = set()
+        self._envs: Dict[str, Dict[str, object]] = {}
+        #: qname → positional param indices that reach a sink.
+        self.sink_params: Dict[str, Set[int]] = {}
+        self._compute_sink_params()
+
+    # -- environments ---------------------------------------------------
+
+    def env_of(self, info: FunctionInfo) -> Dict[str, object]:
+        """Abstract state of each local name in ``info`` (memoized).
+
+        One forward pass over assignments in source order; conditional
+        reassignments join (UNSEEDED dominating), so a variable that is
+        unseeded on *any* branch is treated as unseeded.
+        """
+        cached = self._envs.get(info.qname)
+        if cached is not None:
+            return cached
+        env: Dict[str, object] = {
+            name: ("PARAM", i) for i, name in enumerate(info.params)}
+        self._envs[info.qname] = env
+        mod = self.index.module_of(info)
+        for node in ast.walk(info.node):
+            targets: List[ast.AST] = []
+            value = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.NamedExpr):
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            state = self.eval_expr(value, info, mod, depth=0)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    prev = env.get(target.id)
+                    env[target.id] = (state if prev is None
+                                      else join(prev, state))
+        return env
+
+    # -- expression evaluation ------------------------------------------
+
+    def eval_expr(self, expr: ast.AST, info: FunctionInfo,
+                  mod: ModuleInfo, depth: int):
+        """Abstract state of ``expr`` inside function ``info``."""
+        if depth > self._MAX_DEPTH:
+            return TRUSTED
+        if isinstance(expr, ast.Name):
+            env = self._envs.get(info.qname)
+            if env is None:
+                env = self.env_of(info)
+            return env.get(expr.id, TRUSTED)
+        if isinstance(expr, ast.Subscript):
+            # rng.spawn(3)[0] and friends: indexing propagates.
+            return self.eval_expr(expr.value, info, mod, depth)
+        if isinstance(expr, ast.IfExp):
+            return join(self.eval_expr(expr.body, info, mod, depth),
+                        self.eval_expr(expr.orelse, info, mod, depth))
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, info, mod, depth)
+        return TRUSTED
+
+    def _eval_call(self, node: ast.Call, info: FunctionInfo,
+                   mod: ModuleInfo, depth: int):
+        name = call_name(node)
+        if name is not None:
+            tail = name.split(".")[-1]
+            head = name.split(".")[0]
+            if tail == "ensure_rng":
+                return SEEDED
+            if tail == "default_rng" and (
+                    name == "default_rng"
+                    or (is_numpy_alias(head) and ".random." in name)):
+                return self._seed_arg_state(node, info, mod, depth)
+            if tail in ENTROPY_CTORS and (
+                    name == tail or is_numpy_alias(head)):
+                return self._seed_arg_state(node, info, mod, depth)
+            if tail == "Generator" and (
+                    name == "Generator" or is_numpy_alias(head)):
+                if not node.args:
+                    return UNSEEDED
+                return self.eval_expr(node.args[0], info, mod, depth + 1)
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _PROPAGATING:
+                return self.eval_expr(node.func.value, info, mod, depth)
+        # Project function: use its return summary.
+        targets = self.graph.resolve_call(mod, info, node)
+        if len(targets) == 1:
+            summary = self.return_summary(targets[0])
+            if _is_param(summary):
+                arg = self._arg_for_param(node, targets[0], summary[1])
+                if arg is None:
+                    return TRUSTED
+                return self.eval_expr(arg, info, mod, depth + 1)
+            return summary
+        return TRUSTED
+
+    def _seed_arg_state(self, node: ast.Call, info: FunctionInfo,
+                        mod: ModuleInfo, depth: int):
+        """State of a seedable constructor given its seed argument."""
+        seed_args = list(node.args)
+        for kw in node.keywords:
+            if kw.arg in ("seed", "entropy"):
+                seed_args.append(kw.value)
+        if not seed_args:
+            return UNSEEDED
+        arg = seed_args[0]
+        if isinstance(arg, ast.Constant):
+            return UNSEEDED if arg.value is None else SEEDED
+        state = self.eval_expr(arg, info, mod, depth + 1)
+        if state == UNSEEDED:
+            return UNSEEDED
+        if _is_param(state):
+            return state
+        # A non-literal seed expression (config attribute, arithmetic
+        # over a seed) is taken at face value.
+        return SEEDED
+
+    # -- function summaries ---------------------------------------------
+
+    def return_summary(self, info: FunctionInfo):
+        """What ``info`` returns: a state, or ``PARAM(i)`` passthrough."""
+        if info.qname in self._summaries:
+            return self._summaries[info.qname]
+        if info.qname in self._summary_stack:
+            return TRUSTED  # recursion: give up, never flag
+        self._summary_stack.add(info.qname)
+        try:
+            mod = self.index.module_of(info)
+            results = []
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    results.append(
+                        self.eval_expr(node.value, info, mod, depth=1))
+            summary = join(*results) if results else TRUSTED
+        finally:
+            self._summary_stack.discard(info.qname)
+        self._summaries[info.qname] = summary
+        return summary
+
+    # -- parameter → sink flow ------------------------------------------
+
+    def _compute_sink_params(self) -> None:
+        """Fixpoint: which positional params reach a sampling sink."""
+        changed = True
+        rounds = 0
+        while changed and rounds < 10:
+            changed = False
+            rounds += 1
+            for qname in sorted(self.index.functions):
+                info = self.index.functions[qname]
+                found = self._local_sink_params(info)
+                known = self.sink_params.setdefault(qname, set())
+                if not found <= known:
+                    known |= found
+                    changed = True
+
+    def _local_sink_params(self, info: FunctionInfo) -> Set[int]:
+        mod = self.index.module_of(info)
+        out: Set[int] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            # Direct draw: rng.choice(...) where rng is PARAM(i).
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in SINK_METHODS):
+                state = self.eval_expr(node.func.value, info, mod, depth=0)
+                if _is_param(state):
+                    out.add(state[1])
+            # Transitive: passing PARAM(i) into a callee's sink param.
+            targets = self.graph.resolve_call(mod, info, node)
+            if len(targets) != 1:
+                continue
+            callee = targets[0]
+            for j in sorted(self.sink_params.get(callee.qname, ())):
+                arg = self._arg_for_param(node, callee, j)
+                if arg is None:
+                    continue
+                state = self.eval_expr(arg, info, mod, depth=0)
+                if _is_param(state):
+                    out.add(state[1])
+        return out
+
+    # -- argument mapping -----------------------------------------------
+
+    def _arg_for_param(self, node: ast.Call, callee: FunctionInfo,
+                       index: int) -> Optional[ast.AST]:
+        """The call argument bound to ``callee``'s positional param
+        ``index`` (accounting for the bound ``self`` of method calls)."""
+        if index < 0 or index >= len(callee.params):
+            return None
+        name = callee.params[index]
+        for kw in node.keywords:
+            if kw.arg == name:
+                return kw.value
+        offset = 0
+        if callee.cls is not None and callee.params \
+                and callee.params[0] in ("self", "cls"):
+            # ``obj.meth(a)`` / ``Cls(a)``: positional args shift by 1.
+            offset = 1
+        pos = index - offset
+        if 0 <= pos < len(node.args):
+            arg = node.args[pos]
+            if isinstance(arg, ast.Starred):
+                return None
+            return arg
+        return None
+
+    # -- findings --------------------------------------------------------
+
+    def violations(self) -> List[Tuple[FunctionInfo, ast.Call, str]]:
+        """Every provably unseeded draw, as (function, call, detail)."""
+        out: List[Tuple[FunctionInfo, ast.Call, str]] = []
+        for qname in sorted(self.index.functions):
+            info = self.index.functions[qname]
+            mod = self.index.module_of(info)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in SINK_METHODS):
+                    state = self.eval_expr(node.func.value, info, mod,
+                                           depth=0)
+                    if state == UNSEEDED:
+                        out.append((info, node,
+                                    f"unseeded generator drawn via "
+                                    f".{node.func.attr}()"))
+                targets = self.graph.resolve_call(mod, info, node)
+                if len(targets) != 1:
+                    continue
+                callee = targets[0]
+                for j in sorted(self.sink_params.get(callee.qname, ())):
+                    arg = self._arg_for_param(node, callee, j)
+                    if arg is None:
+                        continue
+                    state = self.eval_expr(arg, info, mod, depth=0)
+                    if state == UNSEEDED:
+                        out.append((
+                            info, node,
+                            f"unseeded generator passed to "
+                            f"{callee.name}() parameter "
+                            f"{callee.params[j]!r}, which reaches a "
+                            f"sampling draw"))
+        return out

@@ -1,0 +1,249 @@
+"""CLI contract for ``python -m repro.lint``.
+
+Pins the exit codes (clean / findings / usage error), the JSON and
+SARIF reporter schemas, the baseline workflow behind ``--deep``, and
+the logical-statement suppression semantics the engine applies before
+any reporter runs.
+"""
+
+import json
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.__main__ import main
+
+CLEAN = '"""A clean module."""\n\nX = 1\n'
+
+DIRTY = textwrap.dedent('''\
+    """A module with one determinism violation."""
+    import numpy as np
+
+    SAMPLE = np.random.rand(3)
+    ''')
+
+DEEP_DIRTY = textwrap.dedent('''\
+    """A module with one deep violation (F203)."""
+
+
+    def fetch(graph, nodes, meter):
+        """Returns features without charging the meter."""
+        return graph.features[nodes]
+    ''')
+
+
+def _project(tmp_path, name, source):
+    """Write ``source`` under a ``repro/``-rooted package dir."""
+    pkg = tmp_path / "repro"
+    pkg.mkdir(exist_ok=True)
+    path = pkg / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# exit codes
+# ----------------------------------------------------------------------
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    """No findings → exit 0 and a 'clean' line."""
+    _project(tmp_path, "ok.py", CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    """Findings → exit 1, grep-able text locations."""
+    _project(tmp_path, "bad.py", DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "repro/bad.py:4" in out
+    assert "R001" in out
+
+
+def test_exit_one_on_parse_error(tmp_path, capsys):
+    """A syntax error is an E999 finding, not a crash."""
+    _project(tmp_path, "broken.py", "def f(:\n")
+    assert main([str(tmp_path)]) == 1
+    assert "E999" in capsys.readouterr().out
+
+
+def test_exit_two_on_missing_path_and_unknown_rule(tmp_path, capsys):
+    """Usage errors exit 2 and explain themselves on stderr."""
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+    _project(tmp_path, "ok.py", CLEAN)
+    assert main(["--select", "R999", str(tmp_path)]) == 2
+    assert "unknown rule ids" in capsys.readouterr().err
+    assert main(["--select", "F999", str(tmp_path)]) == 2
+    assert "unknown deep analyses" in capsys.readouterr().err
+
+
+def test_list_rules_covers_deep_catalogue(capsys):
+    """--list-rules prints both the R-rules and the F-analyses."""
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "F201", "F202", "F203", "F204"):
+        assert rule_id in out
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+
+
+def test_json_reporter_schema_round_trip(tmp_path, capsys):
+    """The JSON payload carries every finding field, faithfully."""
+    _project(tmp_path, "bad.py", DIRTY)
+    assert main(["--format", "json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "repro.lint"
+    assert payload["total"] == len(payload["findings"]) == 1
+    (entry,) = payload["findings"]
+    assert set(entry) == {"rule", "path", "line", "col", "message"}
+    assert entry["rule"] == "R001"
+    assert entry["path"] == "repro/bad.py"
+    assert entry["line"] == 4
+    assert payload["counts"] == {"R001": 1}
+    # Round-trip: the dict form reconstructs the same finding.
+    from repro.lint import Finding
+
+    finding = Finding(rule_id=entry["rule"], path=entry["path"],
+                      line=entry["line"], col=entry["col"],
+                      message=entry["message"])
+    assert finding.to_dict() == entry
+
+
+def test_sarif_reporter_emits_valid_log(tmp_path, capsys):
+    """SARIF output: versioned log, rule catalogue, 1-based columns."""
+    _project(tmp_path, "bad.py", DIRTY)
+    _project(tmp_path, "deep.py", DEEP_DIRTY)
+    assert main(["--deep", "--format", "sarif", str(tmp_path)]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.lint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    assert {"R001", "F201", "F202", "F203", "F204"} <= rule_ids
+    by_rule = {res["ruleId"]: res for res in run["results"]}
+    assert {"R001", "F203"} <= set(by_rule)
+    region = (by_rule["R001"]["locations"][0]["physicalLocation"]
+              ["region"])
+    assert region["startLine"] == 4
+    assert region["startColumn"] >= 1
+
+
+# ----------------------------------------------------------------------
+# --deep and the baseline workflow
+# ----------------------------------------------------------------------
+
+
+def test_deep_flag_adds_flow_findings(tmp_path, capsys):
+    """Shallow runs miss F203; --deep reports it."""
+    _project(tmp_path, "deep.py", DEEP_DIRTY)
+    assert main([str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["--deep", str(tmp_path)]) == 1
+    assert "F203" in capsys.readouterr().out
+
+
+def test_select_deep_id_implies_deep_run(tmp_path, capsys):
+    """--select F203 runs only that analysis, no shallow rules."""
+    _project(tmp_path, "bad.py", DIRTY)
+    _project(tmp_path, "deep.py", DEEP_DIRTY)
+    assert main(["--select", "F203", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "F203" in out
+    assert "R001" not in out
+
+
+def test_baseline_workflow_gates_only_new_findings(tmp_path, capsys):
+    """write-baseline → accepted; a new violation still fails."""
+    _project(tmp_path, "deep.py", DEEP_DIRTY)
+    baseline = tmp_path / "baseline.json"
+    assert main(["--deep", str(tmp_path),
+                 "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1
+    assert payload["findings"][0]["rule"] == "F203"
+    # Gated run: the accepted finding no longer fails CI.
+    assert main(["--deep", str(tmp_path),
+                 "--baseline", str(baseline)]) == 0
+    assert "clean" in capsys.readouterr().out
+    # A *new* violation in another function is beyond the baseline.
+    _project(tmp_path, "deep2.py", DEEP_DIRTY.replace("fetch", "grab"))
+    assert main(["--deep", str(tmp_path),
+                 "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "grab" in out and "fetch" not in out
+
+
+def test_corrupt_baseline_is_a_usage_error(tmp_path, capsys):
+    """An unreadable or wrong-version baseline exits 2."""
+    _project(tmp_path, "ok.py", CLEAN)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"version": 99, "findings": []}')
+    assert main(["--deep", str(tmp_path),
+                 "--baseline", str(baseline)]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# logical-statement suppressions
+# ----------------------------------------------------------------------
+
+
+def test_suppression_covers_multiline_statement():
+    """A disable on any physical line silences the whole statement."""
+    src = textwrap.dedent('''\
+        """Fixture."""
+        import numpy as np
+
+        SAMPLE = np.random.rand(
+            3)  # lint: disable=R001
+        ''')
+    assert lint_source(src) == []
+
+
+def test_suppression_on_decorator_covers_definition():
+    """A disable on the decorator line covers the decorated def."""
+    src = textwrap.dedent('''\
+        """Fixture."""
+        import functools
+
+
+        @functools.lru_cache(maxsize=None)  # lint: disable=R104
+        def helper():
+            return 1
+        ''')
+    assert lint_source(src) == []
+    undecorated = src.replace(
+        "@functools.lru_cache(maxsize=None)  # lint: disable=R104\n", "")
+    assert [f.rule_id for f in lint_source(undecorated)] == ["R104"]
+
+
+def test_suppression_of_unknown_rule_id_keeps_other_findings():
+    """Disabling an id that never fires must not silence real ones."""
+    src = textwrap.dedent('''\
+        """Fixture."""
+        import numpy as np
+
+        SAMPLE = np.random.rand(3)  # lint: disable=R999
+        ''')
+    assert [f.rule_id for f in lint_source(src)] == ["R001"]
+    bare = src.replace("disable=R999", "disable")
+    assert lint_source(bare) == []
+
+
+def test_standalone_comment_does_not_suppress_next_statement():
+    """Only the statement's own lines suppress — not a comment above."""
+    src = textwrap.dedent('''\
+        """Fixture."""
+        import numpy as np
+
+        # lint: disable=R001
+        SAMPLE = np.random.rand(3)
+        ''')
+    assert [f.rule_id for f in lint_source(src)] == ["R001"]
