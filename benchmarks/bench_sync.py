@@ -1,0 +1,202 @@
+"""Staleness–accuracy frontier across synchronisation modes.
+
+Sweeps the :class:`TrainConfig(sync=)` axis — ``barrier`` and the
+asynchronous families (``ps`` at several ``max_staleness`` bounds,
+``async`` at several ``pull_prob`` rates, ``local_sgd`` at several
+``sync_every`` periods) — over one deterministic link-prediction
+workload and records, per cell:
+
+* final test AUC / Hits@k — the accuracy side of the frontier,
+* observed mean and max push staleness (from
+  ``TrainResult.sync_stats``) — the staleness side,
+* synchronisation bytes from the CommMeter ledger — what the
+  trade-off buys (PS push/pull traffic vs collective rounds),
+* wall-clock seconds per run.
+
+Every cell runs on every requested backend from the same seed and the
+validator enforces bit-identical accuracy across backends — the
+frontier doubles as an equivalence proof for the :class:`SyncPlan`
+determinism story.
+
+Emitted schema (``BENCH_sync.json``)::
+
+    {
+      "schema": "bench_sync/v1",
+      "config": {...workload knobs...},
+      "results": [
+        {"cell": "ps/staleness=4", "mode": "ps", "backend": "serial",
+         "knob": {"max_staleness": 4}, "auc": 0.81, "hits": 0.33,
+         "mean_staleness": 1.9, "max_staleness": 6.0,
+         "sync_bytes": 123456, "wall_s": 1.2},
+        ...
+      ]
+    }
+
+Run via ``scripts/bench.py --suite sync`` (``--smoke`` for the
+CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.frameworks import run_framework
+from repro.distributed import TrainConfig
+from repro.graph import split_edges, synthetic_lp_graph
+
+SCHEMA = "bench_sync/v1"
+
+#: Full-size workload: enough rounds per epoch that staleness has room
+#: to accumulate and the frontier separates visibly.
+FULL = dict(num_nodes=1200, target_edges=4800, feature_dim=32,
+            hidden_dim=32, num_layers=2, fanouts=(8, 5), batch_size=96,
+            epochs=3, workers=4, framework="splpg", seed=0)
+
+#: CI-sized workload: the whole sweep finishes in seconds; numbers
+#: only validate the schema and the cross-backend equality gate.
+SMOKE = dict(num_nodes=260, target_edges=950, feature_dim=16,
+             hidden_dim=16, num_layers=2, fanouts=(5, 5), batch_size=64,
+             epochs=2, workers=3, framework="splpg", seed=0)
+
+#: The frontier cells: one barrier anchor plus each asynchronous
+#: family at several points along its staleness knob.
+CELLS = (
+    {"mode": "barrier"},
+    {"mode": "local_sgd", "sync_every": 2},
+    {"mode": "local_sgd", "sync_every": 8},
+    {"mode": "ps", "max_staleness": 1},
+    {"mode": "ps", "max_staleness": 4},
+    {"mode": "ps", "max_staleness": 16},
+    {"mode": "async", "pull_prob": 0.5},
+    {"mode": "async", "pull_prob": 0.1},
+)
+
+
+def _build_split(params: Dict):
+    """Synthesize the benchmark graph and edge split (seeded)."""
+    rng = np.random.default_rng(params["seed"])
+    graph = synthetic_lp_graph(
+        num_nodes=params["num_nodes"], target_edges=params["target_edges"],
+        feature_dim=params["feature_dim"], num_communities=8, rng=rng)
+    return split_edges(graph, rng=rng)
+
+
+def _cell_label(cell: Dict) -> str:
+    """Stable ``mode/knob=value`` label for one frontier cell."""
+    knobs = {k: v for k, v in cell.items() if k != "mode"}
+    if not knobs:
+        return cell["mode"]
+    key, value = next(iter(knobs.items()))
+    return f"{cell['mode']}/{key}={value}"
+
+
+def _bench_config(params: Dict, cell: Dict, backend: str) -> TrainConfig:
+    """TrainConfig for one (cell, backend) run."""
+    knobs = {k: v for k, v in cell.items() if k != "mode"}
+    return TrainConfig(
+        hidden_dim=params["hidden_dim"], num_layers=params["num_layers"],
+        fanouts=params["fanouts"], batch_size=params["batch_size"],
+        epochs=params["epochs"], seed=params["seed"], sync=cell["mode"],
+        eval_every=max(params["epochs"], 1), backend=backend,
+        num_workers=params["workers"], observe=False, **knobs)
+
+
+def run_bench(
+    cells: Sequence[Dict] = CELLS,
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    params: Optional[Dict] = None,
+) -> Dict:
+    """Run the sweep and return the ``bench_sync/v1`` document.
+
+    Every cell trains the same workload from the same seed on every
+    backend; accuracy must agree bit-for-bit across backends (checked
+    by :func:`validate_document`), staleness and byte columns come
+    from the run's own ledgers.
+    """
+    params = dict(FULL if params is None else params)
+    split = _build_split(params)
+    results: List[Dict] = []
+    for cell in cells:
+        for backend in backends:
+            config = _bench_config(params, cell, backend)
+            started = time.perf_counter()
+            outcome = run_framework(
+                params["framework"], split, params["workers"], config,
+                rng=np.random.default_rng(params["seed"]))
+            wall = time.perf_counter() - started
+            stats = outcome.sync_stats
+            results.append({
+                "cell": _cell_label(cell),
+                "mode": cell["mode"],
+                "backend": backend,
+                "knob": {k: v for k, v in cell.items() if k != "mode"},
+                "auc": float(outcome.test.auc),
+                "hits": float(outcome.test.hits),
+                "mean_staleness": float(stats.get("mean_staleness", 0.0)),
+                "max_staleness": float(stats.get("max_staleness", 0.0)),
+                "sync_bytes": int(outcome.comm_total.sync_bytes),
+                "wall_s": round(wall, 4),
+            })
+    return {
+        "schema": SCHEMA,
+        "config": {**params, "backends": list(backends),
+                   "cells": [_cell_label(c) for c in cells]},
+        "host": _host_info(),
+        "results": results,
+    }
+
+
+def _host_info() -> Dict:
+    """CPU topology the sweep ran on (context for wall_s columns)."""
+    try:
+        schedulable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        schedulable = os.cpu_count() or 1
+    return {"cpu_count": os.cpu_count() or 1,
+            "schedulable_cpus": schedulable}
+
+
+def validate_document(doc: Dict) -> List[str]:
+    """Schema + equivalence check for a ``bench_sync/v1`` document.
+
+    Beyond field presence, enforces the two claims the artifact
+    exists to make: the frontier covers at least three distinct sync
+    modes, and every cell's accuracy is bit-identical across the
+    backends it ran on.
+    """
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be a dict")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        problems.append("results must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        for key, kinds in (("cell", str), ("mode", str), ("backend", str),
+                           ("knob", dict), ("auc", (int, float)),
+                           ("hits", (int, float)),
+                           ("mean_staleness", (int, float)),
+                           ("max_staleness", (int, float)),
+                           ("sync_bytes", int), ("wall_s", (int, float))):
+            if not isinstance(row.get(key), kinds):
+                problems.append(f"results[{i}].{key} missing or wrong type")
+    modes = {r.get("mode") for r in rows if isinstance(r, dict)}
+    if len(modes) < 3:
+        problems.append(
+            f"frontier must cover >= 3 sync modes, got {sorted(modes)}")
+    for cell in {r["cell"] for r in rows if isinstance(r, dict)}:
+        group = [r for r in rows
+                 if isinstance(r, dict) and r.get("cell") == cell]
+        for key in ("auc", "hits", "sync_bytes"):
+            values = {r.get(key) for r in group}
+            if len(values) > 1:
+                problems.append(
+                    f"{key} diverged across backends in cell {cell!r}: "
+                    f"{sorted(map(str, values))}")
+    return problems

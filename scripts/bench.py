@@ -15,6 +15,9 @@ Suites:
 * ``serve`` — serving load harness: open/closed-loop workloads per
   backend with cross-backend digest equality enforced (writes
   ``BENCH_serve.json``, schema ``bench_serve/v1``).
+* ``sync`` — staleness–accuracy frontier across sync modes (barrier,
+  ps, async, local_sgd) with cross-backend accuracy equality enforced
+  (writes ``BENCH_sync.json``, schema ``bench_sync/v1``).
 
 ``--smoke`` runs a miniature workload, validates the emitted document
 against the suite schema, and exits non-zero on any problem.
@@ -91,6 +94,29 @@ def _run_serve(args) -> int:
     return _finish(doc, problems, args, "BENCH_serve.json")
 
 
+def _run_sync(args) -> int:
+    """The staleness–accuracy frontier sweep."""
+    from benchmarks.bench_sync import (
+        FULL as SYNC_FULL,
+        SMOKE as SYNC_SMOKE,
+        run_bench as run_sync_bench,
+        validate_document as validate_sync,
+    )
+
+    params = SYNC_SMOKE if args.smoke else SYNC_FULL
+    doc = run_sync_bench(params=params)
+    problems = validate_sync(doc)
+    print(f"host: {doc['host']['schedulable_cpus']} schedulable cpu(s)")
+    for row in doc["results"]:
+        print(f"{row['cell']:>24s}  {row['backend']:>8s}  "
+              f"auc={row['auc']:.4f}  hits={row['hits']:.4f}  "
+              f"staleness={row['mean_staleness']:5.2f}"
+              f"/{row['max_staleness']:4.1f}  "
+              f"sync={row['sync_bytes']:>10d}B  "
+              f"wall={row['wall_s']:7.3f}s")
+    return _finish(doc, problems, args, "BENCH_sync.json")
+
+
 def _finish(doc, problems, args, default_name: str) -> int:
     """Report problems; persist the document for full runs."""
     if problems:
@@ -109,7 +135,7 @@ def _finish(doc, problems, args, default_name: str) -> int:
 def main(argv=None) -> int:
     """Parse arguments and dispatch to the selected suite."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=("backends", "serve"),
+    parser.add_argument("--suite", choices=("backends", "serve", "sync"),
                         default="backends",
                         help="benchmark suite to run (default: backends)")
     parser.add_argument("--smoke", action="store_true",
@@ -126,6 +152,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.suite == "serve":
         return _run_serve(args)
+    if args.suite == "sync":
+        return _run_sync(args)
     return _run_backends(args)
 
 

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Execute the fenced ``python`` snippets in ``docs/*.md``.
+
+Docs rot when examples drift from the API; this gate runs every
+fenced ``python`` block so a renamed symbol or changed signature
+fails CI instead of misleading a reader.  Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py          # all docs/*.md
+    PYTHONPATH=src python scripts/check_docs.py docs/api.md
+
+Execution model — one script per markdown file:
+
+* blocks in one file share a namespace and run top to bottom, so a
+  later block may use names an earlier block defined (like a reader
+  following the page);
+* each file's script runs in a fresh subprocess inside a temporary
+  working directory, so snippets that save artifacts (``run.json``,
+  ``model.servable.npz``) never pollute the repo;
+* ``REPRO_DOCS_SMOKE=1`` is set in the environment — snippets are
+  written at smoke scale and may branch on it.
+
+Two HTML-comment directives control extraction:
+
+* ``<!-- check_docs: skip -->`` immediately before a fence excludes
+  the next ``python`` block (pseudo-code, fragments of larger
+  programs);
+* a ``<!-- check_docs: setup`` … ``-->`` comment contributes hidden
+  code (its inner lines) at that point in the file — the place for
+  fixture objects a snippet needs but the prose should not show.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SKIP_DIRECTIVE = "<!-- check_docs: skip -->"
+SETUP_OPEN = "<!-- check_docs: setup"
+SETUP_CLOSE = "-->"
+
+#: Per-file subprocess budget (seconds); docs snippets are smoke-sized.
+TIMEOUT_S = 300
+
+
+def extract_blocks(path: Path) -> List[Tuple[int, str, bool]]:
+    """Pull runnable code out of one markdown file.
+
+    Returns ``(md_lineno, code, hidden)`` triples in file order —
+    fenced ``python`` blocks (honoring the skip directive) and hidden
+    setup comments.  ``md_lineno`` points at the block's first code
+    line for error reporting.
+    """
+    blocks: List[Tuple[int, str, bool]] = []
+    lines = path.read_text().splitlines()
+    skip_next = False
+    i = 0
+    while i < len(lines):
+        stripped = lines[i].strip()
+        if stripped == SKIP_DIRECTIVE:
+            skip_next = True
+        elif stripped == SETUP_OPEN:
+            start = i + 1
+            body: List[str] = []
+            i += 1
+            while i < len(lines) and lines[i].strip() != SETUP_CLOSE:
+                body.append(lines[i])
+                i += 1
+            blocks.append((start + 1, "\n".join(body), True))
+        elif stripped.startswith("```python"):
+            start = i + 1
+            body = []
+            i += 1
+            while i < len(lines) and not lines[i].strip().startswith("```"):
+                body.append(lines[i])
+                i += 1
+            if skip_next:
+                skip_next = False
+            else:
+                blocks.append((start + 1, "\n".join(body), False))
+        i += 1
+    return blocks
+
+
+def build_script(path: Path,
+                 blocks: List[Tuple[int, str, bool]]
+                 ) -> Tuple[str, List[Tuple[int, int]]]:
+    """Concatenate a file's blocks into one script.
+
+    Returns the script text and a ``(script_lineno, md_lineno)`` map
+    for translating tracebacks back to the markdown source.
+    """
+    out: List[str] = []
+    mapping: List[Tuple[int, int]] = []
+    for md_lineno, code, hidden in blocks:
+        label = "hidden setup" if hidden else "snippet"
+        out.append(f"# {label} from {path.name}:{md_lineno}")
+        mapping.append((len(out) + 1, md_lineno))
+        out.extend(code.splitlines())
+        out.append("")
+    return "\n".join(out) + "\n", mapping
+
+
+def _md_line(mapping: List[Tuple[int, int]], script_lineno: int) -> int:
+    """Markdown line a script line came from (block-start granularity)."""
+    best = mapping[0][1] if mapping else 1
+    for script_start, md_lineno in mapping:
+        if script_start <= script_lineno:
+            best = md_lineno + (script_lineno - script_start)
+    return best
+
+
+def check_file(path: Path, verbose: bool = False) -> Optional[str]:
+    """Run one markdown file's snippets; return a problem or ``None``."""
+    blocks = extract_blocks(path)
+    runnable = [b for b in blocks if not b[2]]
+    if not runnable:
+        if verbose:
+            print(f"  {path.name}: no runnable python blocks")
+        return None
+    script, mapping = build_script(path, blocks)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    env["REPRO_DOCS_SMOKE"] = "1"
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as tmp:
+        script_path = Path(tmp) / f"{path.stem}_snippets.py"
+        script_path.write_text(script)
+        proc = subprocess.run(
+            [sys.executable, str(script_path)], cwd=tmp, env=env,
+            capture_output=True, text=True, timeout=TIMEOUT_S)
+    if proc.returncode == 0:
+        if verbose:
+            print(f"  {path.name}: {len(runnable)} block(s) ok")
+        return None
+    lineno = None
+    for line in reversed(proc.stderr.splitlines()):
+        if script_path.name in line and ", line " in line:
+            try:
+                lineno = int(line.split(", line ")[1].split(",")[0])
+            except (IndexError, ValueError):
+                pass
+            break
+    where = (f"{path}:{_md_line(mapping, lineno)}" if lineno is not None
+             else str(path))
+    tail = "\n".join(proc.stderr.splitlines()[-12:])
+    return f"{where}: snippet failed\n{tail}"
+
+
+def main(argv=None) -> int:
+    """Check the given markdown files (default: every ``docs/*.md``)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="markdown files (default: docs/*.md)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="report per-file block counts")
+    args = parser.parse_args(argv)
+    files = args.files or sorted((REPO_ROOT / "docs").glob("*.md"))
+    problems: List[str] = []
+    for path in files:
+        problem = check_file(path, verbose=args.verbose)
+        if problem is not None:
+            problems.append(problem)
+            print(f"FAIL {path}", file=sys.stderr)
+    if problems:
+        for problem in problems:
+            print(f"\n{problem}", file=sys.stderr)
+        print(f"\ncheck_docs: {len(problems)} file(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(files)} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

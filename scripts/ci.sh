@@ -29,6 +29,10 @@ python -m repro.serve --smoke
 echo "== bench smoke (schema gate) =="
 python scripts/bench.py --smoke
 python scripts/bench.py --smoke --suite serve
+python scripts/bench.py --smoke --suite sync
 
 echo "== docs links =="
 python scripts/check_links.py
+
+echo "== docs snippets =="
+python scripts/check_docs.py

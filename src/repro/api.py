@@ -253,6 +253,35 @@ class Session:
         self._overrides.update(knobs)
         return self
 
+    def sync(self, mode: str = "barrier", **knobs) -> "Session":
+        """Select the gradient/model synchronisation mode.
+
+        ``mode`` is one of ``barrier`` | ``ps`` | ``async`` |
+        ``local_sgd`` (legacy ``grad``/``model`` still accepted);
+        ``**knobs`` forwards the mode's tuning fields —
+        ``max_staleness`` (ps), ``pull_prob`` (async), ``sync_every``
+        (local_sgd) — plus an optional pre-built ``sync_plan``.
+
+            session.sync("ps", max_staleness=4)
+            session.sync("local_sgd", sync_every=8)
+        """
+        from .distributed.sync import LEGACY_SYNC_MODES, SYNC_MODES
+
+        if mode not in SYNC_MODES + LEGACY_SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {mode!r}; choose from "
+                f"{SYNC_MODES + LEGACY_SYNC_MODES}")
+        allowed = {"max_staleness", "pull_prob", "sync_every",
+                   "sync_plan", "sync_topology"}
+        unknown = set(knobs) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown sync knob(s) {sorted(unknown)}; choose from "
+                f"{sorted(allowed)}")
+        self._overrides["sync"] = mode
+        self._overrides.update(knobs)
+        return self
+
     # -- execution ------------------------------------------------------
 
     def config(self) -> TrainConfig:

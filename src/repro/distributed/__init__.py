@@ -28,9 +28,13 @@ from .timeline import (
 )
 from .store import RemoteGraphStore, SparsifiedRemoteStore
 from .sync import (
+    SYNC_MODES,
+    ParameterServer,
+    SyncPlan,
     average_gradients,
     average_models,
     broadcast_model,
+    ps_message_nbytes,
     sync_bytes_per_worker,
 )
 from .trainer import (
@@ -66,9 +70,13 @@ __all__ = [
     "timeline_from_result",
     "RemoteGraphStore",
     "SparsifiedRemoteStore",
+    "SYNC_MODES",
+    "ParameterServer",
+    "SyncPlan",
     "average_gradients",
     "average_models",
     "broadcast_model",
+    "ps_message_nbytes",
     "sync_bytes_per_worker",
     "DistributedTrainer",
     "EpochStats",

@@ -177,6 +177,25 @@ class ExecutionBackend:
         barrier)."""
         raise NotImplementedError
 
+    # -- asynchronous sync-mode primitives ------------------------------
+
+    def collect_gradients(self, mask: Sequence[bool]
+                          ) -> List[Optional[Dict[str, np.ndarray]]]:
+        """This round's named-gradient dict per masked worker.
+
+        ``mask[i]`` False (or a worker that trained nothing) yields
+        ``None``.  Used by the parameter-server modes, which apply the
+        pushes parent-side in :class:`~repro.distributed.sync.SyncPlan`
+        order instead of all-reducing them.
+        """
+        raise NotImplementedError
+
+    def load_worker_model(self, worker: int,
+                          state: Dict[str, np.ndarray]) -> None:
+        """Load ``state`` into one worker's replica (a PS pull or any
+        other targeted weight delivery), wherever that replica lives."""
+        raise NotImplementedError
+
     def refresh_eval_model(self) -> None:
         """Make ``trainer.workers[0].model`` reflect worker 0's current
         weights (no-op for in-process backends)."""
@@ -352,6 +371,23 @@ class SerialBackend(ExecutionBackend):
         average_models([w.model for w in trainer.workers],
                        trainer.meters, topology=topology, obs=obs,
                        participating=participating, live=live)
+
+    def collect_gradients(self, mask: Sequence[bool]
+                          ) -> List[Optional[Dict[str, np.ndarray]]]:
+        """Read the live replicas' gradients straight off their models."""
+        out: List[Optional[Dict[str, np.ndarray]]] = []
+        for worker, ok in zip(self.trainer.workers, mask):
+            if not ok:
+                out.append(None)
+                continue
+            out.append({name: p.grad for name, p
+                        in worker.model.named_parameters()})
+        return out
+
+    def load_worker_model(self, worker: int,
+                          state: Dict[str, np.ndarray]) -> None:
+        """Load weights into the in-process replica directly."""
+        self.trainer.workers[worker].model.load_state_dict(state)
 
     # -- auxiliary hooks ------------------------------------------------
 
@@ -966,7 +1002,7 @@ class ProcessBackend(ExecutionBackend):
         """Run (or discard) every pending batch concurrently; merge
         losses, edge counts, grads and comm deltas in worker order."""
         trainer = self.trainer
-        want_grads = trainer.config.sync == "grad"
+        want_grads = trainer.config.sync in ("grad", "ps", "async")
         pending = [i for i in self._active() if self._has_pending[i]]
         inflight = {i: ("train", bool(participate[i]), want_grads)
                     for i in pending}
@@ -1063,6 +1099,26 @@ class ProcessBackend(ExecutionBackend):
         for i in self._active():
             self._send(i, ("set_model", averaged), "set_model")
         self._charge_sync(topology)
+
+    def collect_gradients(self, mask: Sequence[bool]
+                          ) -> List[Optional[Dict[str, np.ndarray]]]:
+        """This round's child-reported gradients, filtered by ``mask``.
+
+        Children ship their named-gradient dicts with every trained
+        batch when an asynchronous sync mode is active (the same
+        payloads the barrier path averages); the round buffer holds
+        them until the next :meth:`train_round`.
+        """
+        return [self._round_grads.get(i) if ok else None
+                for i, ok in enumerate(mask)]
+
+    def load_worker_model(self, worker: int,
+                          state: Dict[str, np.ndarray]) -> None:
+        """Ship weights to one child (a PS pull); dead workers are
+        skipped — elastic recovery already removed them."""
+        if worker in self._dead:
+            return
+        self._send(worker, ("set_model", state), "set_model")
 
     def _charge_sync(self, topology: str) -> None:
         """Charge one sync round to every live parent-side meter (same

@@ -43,7 +43,7 @@ from ..sampling.negative import (
 )
 from ..sampling.neighbor import NeighborSampler
 from .comm import GB, CommMeter, CommRecord
-from .sync import broadcast_model
+from .sync import ParameterServer, SyncPlan, broadcast_model
 from .views import WorkerGraphView
 
 
@@ -70,9 +70,28 @@ class TrainConfig:
     # per-source uniform), "degree" (PinSage-style, ∝ degree^0.75) or
     # "in_batch" (recycle batch destinations).
     negative_sampler: str = "uniform"
-    sync: str = "grad"            # "grad" or "model"
+    # Synchronization mode: "barrier" (canonical alias of the legacy
+    # "grad" per-round all-reduce, today's default), "ps"
+    # (parameter-server with bounded staleness), "async" (fully-async
+    # pushes with seeded pulls), "local_sgd" (model averaging every
+    # sync_every rounds), or the legacy values "grad"/"model".
+    sync: str = "grad"
     sync_every_batches: int = 0   # 0 = once per epoch (model averaging)
     sync_topology: str = "allreduce"  # or "parameter_server"
+    # Bounded-staleness knob for sync="ps": a worker pulls fresh server
+    # weights once its version lag exceeds this many applied pushes
+    # (0 = pull after every push, the sequential-consistency corner).
+    max_staleness: int = 2
+    # Local-SGD cadence for sync="local_sgd": model averaging every
+    # this many trained rounds.
+    sync_every: int = 4
+    # Pull probability for sync="async": the seeded per-round coin a
+    # worker flips to decide whether to refresh its replica.
+    pull_prob: float = 0.5
+    # Pre-computed update interleaving (repro.distributed.SyncPlan, or
+    # its to_dict() form).  None derives one from the knobs above with
+    # the run seed — see SyncPlan.for_config.
+    sync_plan: Optional[object] = None
     cache_remote_features: bool = False  # epoch-scoped remote feature cache
     # Failure injection (legacy knob): probability that a worker's
     # contribution to a synchronization round is lost.  Compiles to a
@@ -127,8 +146,50 @@ class TrainConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if self.sync not in ("model", "grad"):
-            raise ValueError("sync must be 'model' or 'grad'")
+        from .sync import LEGACY_SYNC_MODES, SYNC_MODES, SyncPlan
+        if self.sync not in SYNC_MODES + LEGACY_SYNC_MODES:
+            raise ValueError(
+                f"sync must be one of {SYNC_MODES + LEGACY_SYNC_MODES}, "
+                f"got {self.sync!r}")
+        if self.sync == "barrier":
+            # "barrier" is the canonical alias of the legacy per-round
+            # gradient all-reduce; canonicalizing here keeps every
+            # downstream dispatch (and bit-identity with pre-async
+            # builds) trivially intact.
+            self.sync = "grad"
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        if self.sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+        if not 0.0 <= self.pull_prob <= 1.0:
+            raise ValueError("pull_prob must be in [0, 1]")
+        if isinstance(self.sync_plan, dict):
+            # Accept the to_dict form so configs stay JSON-round-trippable.
+            self.sync_plan = SyncPlan.from_dict(self.sync_plan)
+        if (self.sync_plan is not None
+                and not isinstance(self.sync_plan, SyncPlan)):
+            raise ValueError(
+                "sync_plan must be a SyncPlan (or its to_dict form), "
+                f"got {type(self.sync_plan).__name__}")
+        if self.sync_plan is not None and self.sync_plan.mode != self.sync:
+            raise ValueError(
+                f"sync_plan.mode {self.sync_plan.mode!r} does not match "
+                f"sync={self.sync!r}")
+        if (self.sync in ("ps", "async") and self.recovery == "restore"):
+            raise ValueError(
+                "recovery='restore' is a barrier-family policy (it "
+                "replays from synchronization barriers, which ps/async "
+                "runs never reach); use drop, retry or elastic with "
+                "asynchronous sync modes")
+        if self.sync in ("ps", "async", "local_sgd") \
+                and self.num_workers == 1:
+            import warnings
+            warnings.warn(
+                f"sync={self.sync!r} with num_workers=1 degrades to the "
+                "barrier mode (reason: a one-worker cluster has no "
+                "staleness to schedule)", RuntimeWarning, stacklevel=2)
+            self.sync = "grad"
+            self.sync_plan = None
         from .backends import BACKEND_NAMES
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
@@ -221,6 +282,10 @@ class TrainResult:
     #: Fault/recovery counters from the run's FaultController (empty
     #: for fault-free runs) — crashes, retries, restores, respawns…
     faults: Dict[str, float] = field(default_factory=dict)
+    #: Synchronization-mode telemetry: the resolved ``mode`` plus, for
+    #: ps/async runs, push/pull counts and the observed staleness
+    #: distribution (mean/max).  Barrier runs record only the mode.
+    sync_stats: Dict[str, object] = field(default_factory=dict)
     #: Observability artifact (None unless ``TrainConfig.observe``).
     report: Optional[RunReport] = None
 
@@ -250,6 +315,12 @@ class TrainResult:
             f"  structure: {total.structure_bytes / epochs / 2**20:.3f} MB",
             f"  sync:      {total.sync_bytes / epochs / 2**20:.3f} MB",
         ]
+        if self.sync_stats.get("pushes"):
+            lines.append(
+                f"parameter server: {self.sync_stats['pushes']:g} pushes, "
+                f"{self.sync_stats['pulls']:g} pulls, "
+                f"mean staleness {self.sync_stats['mean_staleness']:.2f} "
+                f"(max {self.sync_stats['max_staleness']:g})")
         if self.dropped_contributions:
             lines.append(
                 f"dropped worker contributions: "
@@ -464,6 +535,41 @@ class DistributedTrainer:
                 obs=observer))
         broadcast_model(reference, [w.model for w in self.workers])
 
+        if (config.sync in ("ps", "async", "local_sgd")
+                and partitioned.num_parts == 1):
+            import warnings
+            warnings.warn(
+                f"sync={config.sync!r} on a single partition degrades "
+                "to the barrier mode (reason: a one-worker cluster has "
+                "no staleness to schedule)", RuntimeWarning, stacklevel=2)
+            config.sync = "grad"
+            config.sync_plan = None
+        self.sync_plan: Optional[SyncPlan] = None
+        self.parameter_server: Optional[ParameterServer] = None
+        if config.sync in ("ps", "async", "local_sgd"):
+            plan = config.sync_plan
+            if plan is None:
+                plan = SyncPlan.for_config(config, partitioned.num_parts)
+            if plan.num_workers != partitioned.num_parts:
+                raise ValueError(
+                    f"sync_plan.num_workers={plan.num_workers} does not "
+                    f"match the partitioning ({partitioned.num_parts} "
+                    f"parts)")
+            self.sync_plan = plan
+        if config.sync in ("ps", "async"):
+            # The server replica starts from the same broadcast weights
+            # as every worker and owns the only optimizer that moves
+            # under PS training.
+            server_model = build_model(
+                config.gnn_type, feature_dim, config.hidden_dim,
+                num_layers=config.num_layers, predictor=config.predictor,
+                dropout=config.dropout, num_heads=config.num_heads,
+                seed=config.seed)
+            server_model.load_state_dict(reference.state_dict())
+            self.parameter_server = ParameterServer(
+                server_model, Adam(server_model.parameters(), lr=config.lr),
+                self.sync_plan, meters=self.meters, obs=observer)
+
     # ------------------------------------------------------------------
 
     def _worker_positive_edges(self, part: int) -> np.ndarray:
@@ -546,6 +652,7 @@ class DistributedTrainer:
                 faults.begin_epoch(epoch)
                 losses: List[float] = []
                 batches_since_sync = 0
+                rounds_since_avg = 0
                 epoch_rounds = 0
                 epoch_mfg_edges = 0
                 while not backend.all_exhausted():
@@ -558,7 +665,8 @@ class DistributedTrainer:
                         train_mask = decision.train_mask
                         pending = (backend.pending_batches()
                                    if faults.logging_batches else None)
-                        for res in backend.train_round(train_mask):
+                        round_results = backend.train_round(train_mask)
+                        for res in round_results:
                             if res is not None:
                                 losses.append(res.loss)
                                 epoch_mfg_edges += res.mfg_edges
@@ -583,6 +691,26 @@ class DistributedTrainer:
                                     backend.step_all()
                                 else:
                                     backend.step_participants(live)
+                                faults.barrier(epoch, epoch_rounds)
+                        elif config.sync in ("ps", "async"):
+                            self._ps_round(epoch, epoch_rounds - 1,
+                                           round_results,
+                                           decision.sync_mask)
+                        elif config.sync == "local_sgd":
+                            backend.step_participants(train_mask)
+                            for i, ok in enumerate(train_mask):
+                                if ok:
+                                    faults.note_step(i)
+                            rounds_since_avg += 1
+                            if self.sync_plan.is_sync_round(
+                                    rounds_since_avg):
+                                self._synchronize(
+                                    "local_sgd",
+                                    faults.model_sync_mask()
+                                    if faults.enabled else None,
+                                    live=live)
+                                rounds_since_avg = 0
+                                self._run_correction()
                                 faults.barrier(epoch, epoch_rounds)
                         else:
                             backend.step_participants(train_mask)
@@ -610,6 +738,23 @@ class DistributedTrainer:
                         live=None if faults.all_live else faults.live)
                     self._run_correction()
                     faults.barrier(epoch, epoch_rounds)
+                elif config.sync == "local_sgd" and rounds_since_avg:
+                    # Flush the tail of the epoch into one last average
+                    # so validation sees the consensus model.
+                    self._synchronize(
+                        "local_sgd",
+                        faults.model_sync_mask()
+                        if faults.enabled else None,
+                        live=None if faults.all_live else faults.live)
+                    self._run_correction()
+                    faults.barrier(epoch, epoch_rounds)
+                elif config.sync in ("ps", "async"):
+                    # The epoch boundary is a pull barrier: every live
+                    # worker receives the server model, so validation
+                    # (and any correction hook) sees one consistent
+                    # consensus state.
+                    self._ps_epoch_barrier(
+                        None if faults.all_live else faults.live)
                 elif config.sync == "grad":
                     # Under per-round gradient averaging the replicas
                     # are already synchronized; the server-side
@@ -656,6 +801,8 @@ class DistributedTrainer:
             if (config.lr_decay < 1.0
                     and (epoch + 1) % config.lr_decay_every == 0):
                 backend.scale_lr(config.lr_decay)
+                if self.parameter_server is not None:
+                    self.parameter_server.optimizer.lr *= config.lr_decay
 
         if best_state is not None:
             models[0].load_state_dict(best_state)
@@ -669,6 +816,11 @@ class DistributedTrainer:
         total = CommRecord()
         for stats in history:
             total += stats.comm
+        sync_stats: Dict[str, object] = {"mode": config.sync}
+        if self.parameter_server is not None:
+            sync_stats.update(self.parameter_server.stats())
+        elif self.sync_plan is not None:
+            sync_stats["sync_every"] = self.sync_plan.sync_every
         result = TrainResult(
             framework=self.framework,
             test=test,
@@ -678,6 +830,7 @@ class DistributedTrainer:
             num_workers=len(self.workers),
             dropped_contributions=faults.dropped_contributions,
             faults=faults.summary(),
+            sync_stats=sync_stats,
         )
         if obs is not None:
             result.report = build_run_report(obs, result)
@@ -716,6 +869,59 @@ class DistributedTrainer:
             obs.advance(seconds)
             sp.attrs["sync_bytes"] = moved
         obs.counter("time.sync_s").inc(seconds)
+
+    # ------------------------------------------------------------------
+
+    def _ps_round(self, epoch: int, rnd: int, round_results,
+                  sync_mask: List[bool]) -> None:
+        """One parameter-server round: push surviving gradients in the
+        SyncPlan's seeded order, pulling per the mode's staleness rule.
+
+        ``round_results`` tells which workers actually trained a batch
+        (their replicas hold this round's gradients); ``sync_mask``
+        drops workers whose push was lost by the fault layer.  Traced
+        as one ``sync`` span whose modeled duration covers this round's
+        push/pull payloads.
+        """
+        server = self.parameter_server
+        backend = self.backend
+        push_mask = [ok and round_results[i] is not None
+                     for i, ok in enumerate(sync_mask)]
+        grads = backend.collect_gradients(push_mask)
+        obs = self.observer
+
+        def dispatch(obs_arg) -> None:
+            """Apply the round against the server replica."""
+            server.obs = obs_arg
+            server.apply_round(epoch, rnd, grads, push_mask,
+                               backend.load_worker_model)
+
+        if obs is None:
+            dispatch(None)
+            return
+        before = self.meters[0].current.sync_bytes
+        with obs.span("sync", mode=self.config.sync) as sp:
+            dispatch(obs)
+            moved = self.meters[0].current.sync_bytes - before
+            seconds = obs.sync_seconds(moved)
+            obs.advance(seconds)
+            sp.attrs["sync_bytes"] = moved
+        obs.counter("time.sync_s").inc(seconds)
+
+    def _ps_epoch_barrier(self, live: Optional[List[bool]]) -> None:
+        """Epoch-end pull barrier for ps/async runs: ship the server
+        model to every live worker, then run the correction hook (the
+        server adopts any corrected weights)."""
+        server = self.parameter_server
+        backend = self.backend
+        obs = self.observer
+        barrier_cm = (obs.span("sync", mode=f"{self.config.sync}-barrier")
+                      if obs is not None else nullcontext())
+        with barrier_cm:
+            server.epoch_barrier(live, backend.load_worker_model)
+        if self.correction_hook is not None:
+            self._run_correction()
+            server.adopt(self.workers[0].model.state_dict(), live=live)
 
     # ------------------------------------------------------------------
 

@@ -19,8 +19,10 @@ twin, and asserts the robustness invariants:
   spans and ``fault.*`` counters in the :class:`~repro.obs.RunReport`.
 
 ``python -m repro.faults chaos`` runs the full sweep; ``--smoke`` the
-CI-sized subset (3 plans x 3 backends).  Everything is seeded: the
-same invocation replays the same faults, byte for byte.
+CI-sized subset (3 plans x 3 backends, rotating recovery policies and
+sync modes so the asynchronous trainers — ``ps``, ``async``,
+``local_sgd`` — face faults too).  Everything is seeded: the same
+invocation replays the same faults, byte for byte.
 """
 
 from __future__ import annotations
@@ -124,6 +126,19 @@ def _make_workload(seed: int):
     return split_edges(graph, rng=rng)
 
 
+def _compatible_recovery(recovery: str, sync: str) -> str:
+    """Map ``restore`` to ``retry`` for barrier-free sync modes.
+
+    ``restore`` replays from barrier snapshots, which the ``ps`` and
+    ``async`` trainers never reach — :class:`TrainConfig` rejects the
+    combination, so the sweep substitutes the nearest policy instead
+    of burning a cell on a guaranteed ``ValueError``.
+    """
+    if recovery == "restore" and sync in ("ps", "async"):
+        return "retry"
+    return recovery
+
+
 def _run_case(split, plan: Optional[FaultPlan], backend: str,
               recovery: str, sync: str, *, workers: int, epochs: int,
               seed: int, observe: bool):
@@ -190,7 +205,7 @@ def run_chaos(
     plans: Optional[Dict[str, FaultPlan]] = None,
     backends: Sequence[str] = ("serial", "thread", "process"),
     recoveries: Optional[Sequence[str]] = None,
-    syncs: Sequence[str] = ("model",),
+    syncs: Sequence[str] = ("model", "ps", "async", "local_sgd"),
     workers: int = 3,
     epochs: int = 2,
     seed: int = 23,
@@ -198,13 +213,16 @@ def run_chaos(
     observe: bool = True,
     verbose: bool = True,
 ) -> List[ChaosOutcome]:
-    """Sweep ``plans x backends x recoveries`` and check invariants.
+    """Sweep ``plans x backends x recoveries x syncs`` and check
+    invariants.
 
     ``smoke`` selects the CI subset: every plan on every backend, one
-    recovery policy per backend chosen round-robin so all four
-    policies still execute.  Returns one :class:`ChaosOutcome` per
-    case; raises :class:`ChaosError` if any case violated an
-    invariant.
+    recovery policy and one sync mode per cell chosen round-robin so
+    all four policies and all four sync families still execute.
+    ``restore`` cells landing on a barrier-free sync mode fall back to
+    ``retry`` (see :func:`_compatible_recovery`).  Returns one
+    :class:`ChaosOutcome` per case; raises :class:`ChaosError` if any
+    case violated an invariant.
     """
     from ..distributed.backends import BACKEND_NAMES
 
@@ -221,31 +239,37 @@ def run_chaos(
 
     cases: List[ChaosCase] = []
     if smoke:
-        # One policy per (plan, backend) cell, rotating so the smoke
-        # sweep still exercises every recovery policy.
+        # One policy and one sync mode per (plan, backend) cell,
+        # rotating at coprime strides so the smoke sweep still
+        # exercises every recovery policy and every sync family.
         rotation = 0
         for plan_name, plan in sorted(plans.items()):
             for backend in backends:
                 recovery = recoveries[rotation % len(recoveries)]
+                sync = syncs[(rotation + rotation // len(syncs))
+                             % len(syncs)]
                 rotation += 1
-                for sync in syncs:
-                    cases.append(ChaosCase(plan_name, plan, backend,
-                                           recovery, sync))
+                cases.append(ChaosCase(
+                    plan_name, plan, backend,
+                    _compatible_recovery(recovery, sync), sync))
     else:
         for plan_name, plan in sorted(plans.items()):
             for backend in backends:
                 for recovery in recoveries:
                     for sync in syncs:
-                        cases.append(ChaosCase(plan_name, plan, backend,
-                                               recovery, sync))
+                        cases.append(ChaosCase(
+                            plan_name, plan, backend,
+                            _compatible_recovery(recovery, sync), sync))
 
-    # Fault-free twins, one per (backend, sync): the comparison target
-    # and the empty-plan bit-identity anchor.
+    # Fault-free twins, one per (backend, sync) the sweep actually
+    # visits: the comparison target and the empty-plan bit-identity
+    # anchor.
     baselines: Dict[Tuple[str, str], object] = {}
-    for backend in backends:
-        for sync in syncs:
-            baselines[(backend, sync)] = _run_case(
-                split, FaultPlan.empty(), backend, "drop", sync,
+    for case in cases:
+        key = (case.backend, case.sync)
+        if key not in baselines:
+            baselines[key] = _run_case(
+                split, FaultPlan.empty(), case.backend, "drop", case.sync,
                 workers=workers, epochs=epochs, seed=seed, observe=False)
 
     outcomes: List[ChaosOutcome] = []

@@ -20,6 +20,7 @@ contract.
 from .metrics import (
     LOSS_BUCKETS,
     SECONDS_BUCKETS,
+    STALENESS_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -32,6 +33,7 @@ from .trace import Span, Tracer, chrome_trace
 __all__ = [
     "LOSS_BUCKETS",
     "SECONDS_BUCKETS",
+    "STALENESS_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",

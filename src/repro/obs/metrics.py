@@ -27,6 +27,11 @@ LOSS_BUCKETS: Tuple[float, ...] = (
 SECONDS_BUCKETS: Tuple[float, ...] = (
     1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
 
+#: Default histogram buckets for parameter-server push staleness
+#: (server versions a gradient lagged behind when it was applied).
+STALENESS_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
 
 class Counter:
     """Monotonically non-decreasing sum (ints or floats).

@@ -1,0 +1,319 @@
+"""Async sync modes: SyncPlan determinism, config plumbing, equivalence.
+
+The contract under test: ``sync="barrier"`` is bit-identical to the
+legacy ``"grad"`` mode; ``ps``/``async``/``local_sgd`` are each
+bit-identical same-seed across serial/thread/process backends
+(accuracy, loss history and CommMeter ledgers); the ``SyncPlan``
+round-trips through its dict form and makes every interleaving
+decision from ``(seed, epoch, round)`` alone; and the TrainConfig /
+Session validation and degrade rules hold.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.frameworks import run_framework
+from repro.distributed import SYNC_MODES, SyncPlan, TrainConfig
+from repro.distributed.sync import PLANNED_SYNC_MODES, ps_message_nbytes
+from repro.graph import split_edges, synthetic_lp_graph
+from repro.lint import get_rule, lint_source
+
+HAS_FORK = "fork" in mp.get_all_start_methods()
+
+ASYNC_MODES = ("ps", "async", "local_sgd")
+
+
+@pytest.fixture(scope="module")
+def split():
+    """One medium community graph shared by every equivalence case."""
+    rng = np.random.default_rng(515)
+    graph = synthetic_lp_graph(num_nodes=140, target_edges=520,
+                               feature_dim=16, num_communities=4, rng=rng)
+    return split_edges(graph, rng=rng)
+
+
+def _train(split, backend, workers, seed, sync, **knobs):
+    config = TrainConfig(hidden_dim=16, num_layers=2, fanouts=(5, 5),
+                         epochs=2, batch_size=64, seed=seed, sync=sync,
+                         backend=backend, observe=False, **knobs)
+    return run_framework("splpg", split, workers, config,
+                         rng=np.random.default_rng(seed))
+
+
+def _fingerprint(result):
+    """Everything that must match bit for bit across backends."""
+    return (
+        result.test.hits,
+        result.test.auc,
+        result.best_epoch,
+        tuple(s.mean_loss for s in result.history),
+        tuple(tuple(sorted(s.comm.to_dict().items()))
+              for s in result.history),
+        tuple(sorted(result.comm_total.to_dict().items())),
+        tuple(sorted((k, v) for k, v in result.sync_stats.items())),
+    )
+
+
+class TestSyncPlan:
+    def test_dict_round_trip(self):
+        plan = SyncPlan(mode="ps", num_workers=4, seed=7, max_staleness=3,
+                        pull_prob=0.25, sync_every=6, name="p")
+        again = SyncPlan.from_dict(plan.to_dict())
+        assert again == plan
+
+    def test_push_order_is_deterministic_permutation(self):
+        plan = SyncPlan(mode="async", num_workers=5, seed=3)
+        participants = [0, 2, 3, 4]
+        order = plan.push_order(epoch=1, rnd=2, participants=participants)
+        assert sorted(order) == participants
+        assert list(order) == list(
+            plan.push_order(epoch=1, rnd=2, participants=participants))
+        # Different rounds reshuffle (at least somewhere in 8 rounds).
+        orders = {tuple(plan.push_order(1, r, participants))
+                  for r in range(8)}
+        assert len(orders) > 1
+
+    def test_should_pull_semantics(self):
+        ps = SyncPlan(mode="ps", num_workers=3, seed=0, max_staleness=2)
+        assert not ps.should_pull(0, 0, worker=1, staleness=2)
+        assert ps.should_pull(0, 0, worker=1, staleness=3)
+        coin = SyncPlan(mode="async", num_workers=3, seed=0, pull_prob=1.0)
+        assert coin.should_pull(0, 0, worker=0, staleness=0)
+        never = SyncPlan(mode="async", num_workers=3, seed=0, pull_prob=0.0)
+        assert not never.should_pull(0, 0, worker=0, staleness=99)
+
+    def test_is_sync_round(self):
+        plan = SyncPlan(mode="local_sgd", num_workers=2, sync_every=4)
+        assert not plan.is_sync_round(3)
+        assert plan.is_sync_round(4)
+
+    @pytest.mark.parametrize("bad", [
+        dict(mode="barrier", num_workers=2),
+        dict(mode="ps", num_workers=0),
+        dict(mode="ps", num_workers=2, max_staleness=-1),
+        dict(mode="async", num_workers=2, pull_prob=1.5),
+        dict(mode="local_sgd", num_workers=2, sync_every=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            SyncPlan(**bad)
+
+    def test_ps_message_nbytes(self):
+        assert ps_message_nbytes(1000) == 1000
+
+
+class TestConfigPlumbing:
+    def test_barrier_canonicalizes_to_grad(self):
+        assert TrainConfig(sync="barrier").sync == "grad"
+
+    def test_legacy_modes_accepted(self):
+        assert TrainConfig(sync="grad").sync == "grad"
+        assert TrainConfig(sync="model").sync == "model"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="sync"):
+            TrainConfig(sync="gossip")
+
+    @pytest.mark.parametrize("knobs", [
+        dict(max_staleness=-1), dict(sync_every=0), dict(pull_prob=2.0),
+    ])
+    def test_bad_knobs_rejected(self, knobs):
+        with pytest.raises(ValueError):
+            TrainConfig(sync="ps", num_workers=2, **knobs)
+
+    def test_plan_dict_accepted(self):
+        plan = SyncPlan(mode="ps", num_workers=2, seed=5)
+        config = TrainConfig(sync="ps", num_workers=2,
+                             sync_plan=plan.to_dict())
+        assert config.sync_plan == plan
+
+    def test_plan_mode_mismatch_rejected(self):
+        plan = SyncPlan(mode="async", num_workers=2)
+        with pytest.raises(ValueError, match="mode"):
+            TrainConfig(sync="ps", num_workers=2, sync_plan=plan)
+
+    def test_restore_rejected_for_barrier_free_modes(self):
+        for mode in ("ps", "async"):
+            with pytest.raises(ValueError, match="restore"):
+                TrainConfig(sync=mode, num_workers=2, recovery="restore")
+        # local_sgd reaches barriers, so restore stays legal.
+        TrainConfig(sync="local_sgd", num_workers=2, recovery="restore")
+
+    @pytest.mark.parametrize("mode", ASYNC_MODES)
+    def test_single_worker_degrades_with_warning(self, mode):
+        with pytest.warns(RuntimeWarning, match="degrad"):
+            config = TrainConfig(sync=mode, num_workers=1)
+        assert config.sync == "grad"
+        assert config.sync_plan is None
+
+    def test_sync_modes_catalogue(self):
+        assert SYNC_MODES == ("barrier", "ps", "async", "local_sgd")
+        assert set(PLANNED_SYNC_MODES) <= set(SYNC_MODES)
+
+
+class TestSessionRoundTrip:
+    def test_sync_knobs_reach_config(self, split):
+        session = (repro.Session(split).partition(3)
+                   .sync("ps", max_staleness=5))
+        config = session.config()
+        assert config.sync == "ps"
+        assert config.max_staleness == 5
+
+    def test_each_mode_round_trips(self, split):
+        for mode in SYNC_MODES:
+            config = repro.Session(split).partition(2).sync(mode).config()
+            expected = "grad" if mode == "barrier" else mode
+            assert config.sync == expected
+
+    def test_unknown_mode_rejected(self, split):
+        with pytest.raises(ValueError, match="sync mode"):
+            repro.Session(split).sync("gossip")
+
+    def test_unknown_knob_rejected(self, split):
+        with pytest.raises(ValueError, match="knob"):
+            repro.Session(split).sync("ps", staleness=3)
+
+
+class TestBarrierBitIdentity:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_barrier_equals_grad(self, split, seed):
+        base = _train(split, "serial", 3, seed, sync="grad")
+        canon = _train(split, "serial", 3, seed, sync="barrier")
+        assert _fingerprint(canon) == _fingerprint(base)
+
+
+class TestAsyncEquivalence:
+    @pytest.mark.parametrize("mode", ASYNC_MODES)
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_thread_matches_serial(self, split, mode, workers):
+        base = _train(split, "serial", workers, 0, sync=mode)
+        other = _train(split, "thread", workers, 0, sync=mode)
+        assert _fingerprint(other) == _fingerprint(base)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="needs fork start method")
+    @pytest.mark.parametrize("mode", ASYNC_MODES)
+    def test_process_matches_serial(self, split, mode):
+        base = _train(split, "serial", 3, 0, sync=mode)
+        other = _train(split, "process", 3, 0, sync=mode)
+        assert _fingerprint(other) == _fingerprint(base)
+
+    def test_same_seed_repeats_bit_identically(self, split):
+        a = _train(split, "serial", 3, 4, sync="async", pull_prob=0.3)
+        b = _train(split, "serial", 3, 4, sync="async", pull_prob=0.3)
+        assert _fingerprint(a) == _fingerprint(b)
+
+
+class TestSyncStats:
+    def test_ps_stats_shape(self, split):
+        result = _train(split, "serial", 3, 0, sync="ps", max_staleness=2)
+        stats = result.sync_stats
+        assert stats["mode"] == "ps"
+        assert stats["pushes"] > 0
+        assert stats["pulls"] > 0
+        assert stats["server_version"] == stats["pushes"]
+        assert 0 <= stats["mean_staleness"] <= stats["max_staleness"]
+
+    def test_ps_charges_sync_bytes(self, split):
+        result = _train(split, "serial", 3, 0, sync="ps")
+        assert result.comm_total.sync_bytes > 0
+
+    def test_tighter_bound_pulls_more(self, split):
+        tight = _train(split, "serial", 3, 0, sync="ps", max_staleness=0)
+        loose = _train(split, "serial", 3, 0, sync="ps", max_staleness=16)
+        assert tight.sync_stats["pulls"] > loose.sync_stats["pulls"]
+
+    def test_local_sgd_stats(self, split):
+        result = _train(split, "serial", 3, 0, sync="local_sgd",
+                        sync_every=3)
+        assert result.sync_stats == {"mode": "local_sgd", "sync_every": 3}
+
+
+class TestR108:
+    def test_undocumented_sync_symbol_flagged(self):
+        code = "\"\"\"Mod doc.\"\"\"\ndef push_order(x):\n    return x\n"
+        findings = lint_source(code, modpath="repro/distributed/sync.py",
+                               rules=[get_rule("R108")])
+        assert [f.rule_id for f in findings] == ["R108"]
+
+    def test_nested_public_def_flagged(self):
+        code = ('"""Mod doc."""\n'
+                'def outer():\n'
+                '    """Doc."""\n'
+                '    def inner():\n'
+                '        return 1\n'
+                '    return inner\n')
+        findings = lint_source(code, modpath="repro/distributed/sync.py",
+                               rules=[get_rule("R108")])
+        assert [f.message for f in findings] == [
+            "public sync-mode function 'inner' has no docstring"]
+
+    def test_missing_module_docstring_flagged(self):
+        findings = lint_source("X = 1\n",
+                               modpath="repro/distributed/sync.py",
+                               rules=[get_rule("R108")])
+        assert any("module" in f.message for f in findings)
+
+    def test_sync_plan_class_flagged_anywhere(self):
+        code = ('"""Mod doc."""\n'
+                'class SyncPlan:\n'
+                '    def decide(self):\n'
+                '        return 0\n')
+        findings = lint_source(code, modpath="repro/other.py",
+                               rules=[get_rule("R108")])
+        assert {f.message.split()[2] for f in findings} == {
+            "class", "function"}
+
+    def test_documented_module_clean(self):
+        code = ('"""Mod doc."""\n'
+                'def push(x):\n'
+                '    """Doc."""\n'
+                '    return x\n'
+                'class SyncPlan:\n'
+                '    """Doc."""\n')
+        assert lint_source(code, modpath="repro/distributed/sync.py",
+                           rules=[get_rule("R108")]) == []
+
+    def test_shipped_tree_clean(self):
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        src = Path(__file__).resolve().parents[1] / "src"
+        findings = [f for f in lint_paths([src])
+                    if f.rule_id == "R108"]
+        assert findings == []
+
+
+class TestCheckDocsExtraction:
+    def test_directives(self, tmp_path):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(
+            Path(__file__).resolve().parents[1] / "scripts"))
+        try:
+            from check_docs import extract_blocks
+        finally:
+            sys.path.pop(0)
+        md = tmp_path / "page.md"
+        md.write_text(
+            "# t\n"
+            "<!-- check_docs: setup\n"
+            "x = 1\n"
+            "-->\n"
+            "```python\n"
+            "y = x + 1\n"
+            "```\n"
+            "<!-- check_docs: skip -->\n"
+            "```python\n"
+            "broken(\n"
+            "```\n")
+        blocks = extract_blocks(md)
+        assert [(code, hidden) for _, code, hidden in blocks] == [
+            ("x = 1", True), ("y = x + 1", False)]

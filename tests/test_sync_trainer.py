@@ -97,8 +97,9 @@ class TestSync:
 
 class TestTrainConfig:
     def test_invalid_sync(self):
+        # "async" graduated to a real mode; unknown names still reject.
         with pytest.raises(ValueError):
-            TrainConfig(sync="async")
+            TrainConfig(sync="bulk_sync_parallel")
 
     def test_fanout_layer_mismatch(self):
         with pytest.raises(ValueError):
