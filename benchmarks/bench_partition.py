@@ -1,0 +1,257 @@
+"""Accuracy-vs-communication frontier across partition strategies.
+
+The paper's central design choice — edge-cut METIS plus sparsified
+full-neighbor sharing (SpLPG) — is benchmarked head-to-head against its
+published competitors, each expressed as a (partition strategy,
+framework) cell:
+
+==================  ============  =====================================
+cell                framework     what it reproduces
+==================  ============  =====================================
+metis/psgd_pa       psgd_pa       vanilla edge-cut baseline
+metis+mirror/splpg  splpg         the paper (mirrored METIS +
+                                  sparsified sharing)
+random_tma/…        random_tma    Zhu et al.'s randomized partitions
+super_tma/…         super_tma     " (super-node variant)
+ldg/psgd_pa         psgd_pa       streaming greedy partitioner
+vertex_cut/…        vertex_cut    communication-free vertex cut
+                                  (edge-partitioned, mirrored vertices)
+==================  ============  =====================================
+
+Per cell the sweep records test AUC / Hits@k (the accuracy axis),
+the full CommMeter byte ledger — feature, structure and sync buckets
+plus vertex cut's replica-averaging share — and the layout's
+replication factor and cut fraction.  Every cell runs on every
+requested backend from the same seed; the validator enforces
+bit-identical accuracy *and* byte ledgers across backends, and the
+vertex-cut signature (zero training-time feature fetches, nonzero
+replica-sync bytes).
+
+Emitted schema (``BENCH_partition.json``)::
+
+    {
+      "schema": "bench_partition/v1",
+      "config": {...workload knobs...},
+      "results": [
+        {"cell": "vertex_cut/vertex_cut", "strategy": "vertex_cut",
+         "framework": "vertex_cut", "mirror": false, "backend": "serial",
+         "auc": 0.79, "hits": 0.31, "feature_bytes": 0,
+         "structure_bytes": 0, "sync_bytes": 123, "replica_sync_bytes": 45,
+         "replication_factor": 2.1, "cut_fraction": 0.4, "wall_s": 1.0},
+        ...
+      ]
+    }
+
+Run via ``scripts/bench.py --suite partition`` (``--smoke`` for the
+CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.frameworks import run_framework
+from repro.distributed import TrainConfig
+from repro.graph import split_edges, synthetic_lp_graph
+from repro.partition import PartitionSpec, edge_cut
+
+SCHEMA = "bench_partition/v1"
+
+#: Full-size workload: large enough that the strategies' communication
+#: profiles separate clearly on the frontier.
+FULL = dict(num_nodes=900, target_edges=3600, feature_dim=32,
+            hidden_dim=32, num_layers=2, fanouts=(8, 5), batch_size=96,
+            epochs=3, workers=4, seed=0)
+
+#: CI-sized workload: the whole sweep finishes in seconds; numbers
+#: only validate the schema and the cross-backend equality gate.
+SMOKE = dict(num_nodes=260, target_edges=950, feature_dim=16,
+             hidden_dim=16, num_layers=2, fanouts=(5, 5), batch_size=64,
+             epochs=2, workers=3, seed=0)
+
+#: The frontier cells: each registered strategy paired with the
+#: framework that consumes it (mirrored METIS rides with SpLPG).
+CELLS = (
+    {"strategy": "metis", "mirror": False, "framework": "psgd_pa"},
+    {"strategy": "metis", "mirror": True, "framework": "splpg"},
+    {"strategy": "random_tma", "mirror": False, "framework": "random_tma"},
+    {"strategy": "super_tma", "mirror": False, "framework": "super_tma"},
+    {"strategy": "ldg", "mirror": False, "framework": "psgd_pa"},
+    {"strategy": "vertex_cut", "mirror": False, "framework": "vertex_cut"},
+)
+
+
+def _build_split(params: Dict):
+    """Synthesize the benchmark graph and edge split (seeded)."""
+    rng = np.random.default_rng(params["seed"])
+    graph = synthetic_lp_graph(
+        num_nodes=params["num_nodes"], target_edges=params["target_edges"],
+        feature_dim=params["feature_dim"], num_communities=8, rng=rng)
+    return split_edges(graph, rng=rng)
+
+
+def _cell_label(cell: Dict) -> str:
+    """Stable ``strategy[/+mirror]/framework`` label for one cell."""
+    strategy = cell["strategy"] + ("+mirror" if cell["mirror"] else "")
+    return f"{strategy}/{cell['framework']}"
+
+
+def _cell_spec(cell: Dict) -> PartitionSpec:
+    """The PartitionSpec one frontier cell trains under."""
+    return PartitionSpec(strategy=cell["strategy"], mirror=cell["mirror"])
+
+
+def _bench_config(params: Dict, cell: Dict, backend: str) -> TrainConfig:
+    """TrainConfig for one (cell, backend) run."""
+    return TrainConfig(
+        hidden_dim=params["hidden_dim"], num_layers=params["num_layers"],
+        fanouts=params["fanouts"], batch_size=params["batch_size"],
+        epochs=params["epochs"], seed=params["seed"],
+        eval_every=max(params["epochs"], 1), backend=backend,
+        num_workers=params["workers"], observe=False,
+        partition=_cell_spec(cell))
+
+
+def _layout_stats(split, cell: Dict, params: Dict) -> Dict:
+    """Replication factor and cut fraction of one cell's layout.
+
+    Rebuilds the partitioning exactly as ``build_trainer`` does (fresh
+    ``default_rng(seed)``; the partitioner is that generator's first
+    consumer), so the stats describe precisely the layout each backend
+    trained on.
+    """
+    graph = split.train_graph
+    partitioned = _cell_spec(cell).build(
+        graph, params["workers"], rng=np.random.default_rng(params["seed"]))
+    cut = edge_cut(graph, partitioned.node_owner)
+    return {
+        "replication_factor": round(float(partitioned.replication_factor()),
+                                    6),
+        "cut_fraction": round(cut / max(graph.num_edges, 1), 6),
+    }
+
+
+def run_bench(
+    cells: Sequence[Dict] = CELLS,
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    params: Optional[Dict] = None,
+) -> Dict:
+    """Run the sweep and return the ``bench_partition/v1`` document.
+
+    Every cell trains the same workload from the same seed on every
+    backend; accuracy and the full byte ledger must agree bit-for-bit
+    across backends (checked by :func:`validate_document`).
+    """
+    params = dict(FULL if params is None else params)
+    split = _build_split(params)
+    results: List[Dict] = []
+    for cell in cells:
+        layout = _layout_stats(split, cell, params)
+        for backend in backends:
+            config = _bench_config(params, cell, backend)
+            started = time.perf_counter()
+            outcome = run_framework(
+                cell["framework"], split, params["workers"], config,
+                rng=np.random.default_rng(params["seed"]))
+            wall = time.perf_counter() - started
+            total = outcome.comm_total
+            results.append({
+                "cell": _cell_label(cell),
+                "strategy": cell["strategy"],
+                "mirror": bool(cell["mirror"]),
+                "framework": cell["framework"],
+                "backend": backend,
+                "auc": float(outcome.test.auc),
+                "hits": float(outcome.test.hits),
+                "feature_bytes": int(total.feature_bytes),
+                "structure_bytes": int(total.structure_bytes),
+                "sync_bytes": int(total.sync_bytes),
+                "replica_sync_bytes": int(
+                    outcome.sync_stats.get("replica_sync_bytes", 0)),
+                **layout,
+                "wall_s": round(wall, 4),
+            })
+    return {
+        "schema": SCHEMA,
+        "config": {**params, "backends": list(backends),
+                   "cells": [_cell_label(c) for c in cells]},
+        "host": _host_info(),
+        "results": results,
+    }
+
+
+def _host_info() -> Dict:
+    """CPU topology the sweep ran on (context for wall_s columns)."""
+    try:
+        schedulable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        schedulable = os.cpu_count() or 1
+    return {"cpu_count": os.cpu_count() or 1,
+            "schedulable_cpus": schedulable}
+
+
+def validate_document(doc: Dict) -> List[str]:
+    """Schema + equivalence check for a ``bench_partition/v1`` document.
+
+    Beyond field presence, enforces the claims the artifact exists to
+    make: the frontier covers at least six strategy labels, every
+    cell's accuracy *and* byte ledger are bit-identical across the
+    backends it ran on, and the vertex-cut cells show the expected
+    communication signature — zero training-time feature-fetch bytes
+    with nonzero replica-sync bytes.
+    """
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be a dict")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        problems.append("results must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        for key, kinds in (("cell", str), ("strategy", str),
+                           ("mirror", bool), ("framework", str),
+                           ("backend", str), ("auc", (int, float)),
+                           ("hits", (int, float)), ("feature_bytes", int),
+                           ("structure_bytes", int), ("sync_bytes", int),
+                           ("replica_sync_bytes", int),
+                           ("replication_factor", (int, float)),
+                           ("cut_fraction", (int, float)),
+                           ("wall_s", (int, float))):
+            if not isinstance(row.get(key), kinds):
+                problems.append(f"results[{i}].{key} missing or wrong type")
+    labels = {(r.get("strategy"), r.get("mirror"))
+              for r in rows if isinstance(r, dict)}
+    if len(labels) < 6:
+        problems.append(
+            f"frontier must cover >= 6 strategy labels, got "
+            f"{sorted(map(str, labels))}")
+    for cell in {r["cell"] for r in rows if isinstance(r, dict)}:
+        group = [r for r in rows
+                 if isinstance(r, dict) and r.get("cell") == cell]
+        for key in ("auc", "hits", "feature_bytes", "structure_bytes",
+                    "sync_bytes", "replica_sync_bytes"):
+            values = {r.get(key) for r in group}
+            if len(values) > 1:
+                problems.append(
+                    f"{key} diverged across backends in cell {cell!r}: "
+                    f"{sorted(map(str, values))}")
+    vc_rows = [r for r in rows
+               if isinstance(r, dict) and r.get("strategy") == "vertex_cut"]
+    if not vc_rows:
+        problems.append("frontier must include a vertex_cut cell")
+    for row in vc_rows:
+        if row.get("feature_bytes") != 0:
+            problems.append(
+                "vertex_cut must fetch zero training-time feature bytes, "
+                f"got {row.get('feature_bytes')} on {row.get('backend')}")
+        if not row.get("replica_sync_bytes"):
+            problems.append(
+                "vertex_cut must charge nonzero replica-sync bytes, got "
+                f"{row.get('replica_sync_bytes')} on {row.get('backend')}")
+    return problems

@@ -18,6 +18,11 @@ Suites:
 * ``sync`` — staleness–accuracy frontier across sync modes (barrier,
   ps, async, local_sgd) with cross-backend accuracy equality enforced
   (writes ``BENCH_sync.json``, schema ``bench_sync/v1``).
+* ``partition`` — accuracy-vs-communication frontier across partition
+  strategies (metis, metis+mirror/SpLPG, random_tma, super_tma, ldg,
+  vertex_cut) with cross-backend accuracy and byte-ledger equality
+  enforced (writes ``BENCH_partition.json``, schema
+  ``bench_partition/v1``).
 
 ``--smoke`` runs a miniature workload, validates the emitted document
 against the suite schema, and exits non-zero on any problem.
@@ -117,6 +122,30 @@ def _run_sync(args) -> int:
     return _finish(doc, problems, args, "BENCH_sync.json")
 
 
+def _run_partition(args) -> int:
+    """The partition-strategy frontier sweep."""
+    from benchmarks.bench_partition import (
+        FULL as PART_FULL,
+        SMOKE as PART_SMOKE,
+        run_bench as run_partition_bench,
+        validate_document as validate_partition,
+    )
+
+    params = PART_SMOKE if args.smoke else PART_FULL
+    doc = run_partition_bench(params=params)
+    problems = validate_partition(doc)
+    print(f"host: {doc['host']['schedulable_cpus']} schedulable cpu(s)")
+    for row in doc["results"]:
+        print(f"{row['cell']:>28s}  {row['backend']:>8s}  "
+              f"auc={row['auc']:.4f}  hits={row['hits']:.4f}  "
+              f"feat={row['feature_bytes']:>10d}B  "
+              f"struct={row['structure_bytes']:>10d}B  "
+              f"sync={row['sync_bytes']:>10d}B  "
+              f"repl={row['replication_factor']:.2f}  "
+              f"wall={row['wall_s']:7.3f}s")
+    return _finish(doc, problems, args, "BENCH_partition.json")
+
+
 def _finish(doc, problems, args, default_name: str) -> int:
     """Report problems; persist the document for full runs."""
     if problems:
@@ -135,7 +164,8 @@ def _finish(doc, problems, args, default_name: str) -> int:
 def main(argv=None) -> int:
     """Parse arguments and dispatch to the selected suite."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--suite", choices=("backends", "serve", "sync"),
+    parser.add_argument("--suite",
+                        choices=("backends", "serve", "sync", "partition"),
                         default="backends",
                         help="benchmark suite to run (default: backends)")
     parser.add_argument("--smoke", action="store_true",
@@ -154,6 +184,8 @@ def main(argv=None) -> int:
         return _run_serve(args)
     if args.suite == "sync":
         return _run_sync(args)
+    if args.suite == "partition":
+        return _run_partition(args)
     return _run_backends(args)
 
 

@@ -30,6 +30,7 @@ echo "== bench smoke (schema gate) =="
 python scripts/bench.py --smoke
 python scripts/bench.py --smoke --suite serve
 python scripts/bench.py --smoke --suite sync
+python scripts/bench.py --smoke --suite partition
 
 echo "== docs links =="
 python scripts/check_links.py

@@ -42,7 +42,7 @@ from .graph import (
     load_dataset,
     split_edges,
 )
-from .partition import partition_graph
+from .partition import PartitionSpec, partition_graph
 from .sparsify import sparsify_with_level, spielman_srivastava_sparsify
 
 __version__ = "1.1.0"
@@ -93,6 +93,7 @@ __all__ = [
     "dataset_spec",
     "load_dataset",
     "split_edges",
+    "PartitionSpec",
     "partition_graph",
     "sparsify_with_level",
     "spielman_srivastava_sparsify",

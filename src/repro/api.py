@@ -192,11 +192,52 @@ class Session:
 
     # -- chainable configuration ----------------------------------------
 
-    def partition(self, workers: int) -> "Session":
-        """Set the number of simulated workers (graph partitions)."""
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self._workers = int(workers)
+    def partition(self, workers: Optional[int] = None,
+                  strategy=None, *, mirror: bool = False,
+                  **knobs) -> "Session":
+        """Set the worker count and/or the partition layout.
+
+        ``workers`` is the number of simulated workers (partitions) —
+        the original single-argument form, still the common case.
+        ``strategy`` additionally selects a partition layout: a
+        registered strategy name, a ready
+        :class:`~repro.partition.PartitionSpec`, or a spec dict;
+        ``mirror`` and strategy-specific ``**knobs`` (e.g. vertex-cut's
+        ``balance_factor``, LDG's ``order``) are folded into the spec.
+        The spec is validated eagerly against the partitioner registry,
+        mirroring the ``.sync()``/``.faults()`` idiom::
+
+            session.partition(4)                          # count only
+            session.partition(4, "vertex_cut")
+            session.partition(strategy="metis", mirror=True)  # SpLPG
+        """
+        if workers is not None:
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            self._workers = int(workers)
+        if strategy is not None:
+            from .partition import PartitionSpec
+
+            if isinstance(strategy, PartitionSpec):
+                if mirror or knobs:
+                    raise ValueError(
+                        "pass mirror/knobs inside the PartitionSpec, "
+                        "not alongside it")
+                spec = strategy
+            elif isinstance(strategy, str):
+                spec = PartitionSpec(strategy=strategy, mirror=mirror,
+                                     knobs=knobs)
+            else:
+                if mirror or knobs:
+                    raise ValueError(
+                        "pass mirror/knobs inside the spec dict, not "
+                        "alongside it")
+                spec = PartitionSpec.canonicalize(strategy)
+            self._overrides["partition"] = spec
+        elif mirror or knobs:
+            raise ValueError(
+                "partition mirror/knobs need a strategy; e.g. "
+                "session.partition(4, 'metis', mirror=True)")
         return self
 
     def framework(self, name: str) -> "Session":

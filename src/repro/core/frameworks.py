@@ -93,6 +93,10 @@ FRAMEWORKS: Dict[str, FrameworkSpec] = {
                       global_negatives=True),
         FrameworkSpec("splpg_minus", mirror=True),
         FrameworkSpec("splpg_minus_minus"),
+        # Vertex cut (edge-partitioned, mirrored vertices): zero
+        # training-time feature/structure fetches by construction — the
+        # communication moves into replica-averaging sync bytes.
+        FrameworkSpec("vertex_cut", partition_strategy="vertex_cut"),
     ]
 }
 
@@ -112,6 +116,7 @@ PAPER_LABELS = {
     "splpg_plus": "SpLPG+",
     "splpg_minus": "SpLPG-",
     "splpg_minus_minus": "SpLPG--",
+    "vertex_cut": "VertexCut",
 }
 
 
@@ -137,9 +142,19 @@ def build_trainer(
     graph = split.train_graph
     observer = RunObserver() if config.observe else None
     if partitioned is None:
-        partitioned = partition_graph(
-            graph, num_parts, strategy=spec.partition_strategy,
-            rng=rng, mirror=spec.mirror)
+        if config.partition is not None:
+            # An explicit PartitionSpec on the config overrides the
+            # framework's default layout (canonicalized by TrainConfig).
+            partitioned = config.partition.build(graph, num_parts, rng=rng)
+        else:
+            partitioned = partition_graph(
+                graph, num_parts, strategy=spec.partition_strategy,
+                rng=rng, mirror=spec.mirror)
+    if partitioned.edge_partitioned and spec.remote == "sparsified":
+        raise ValueError(
+            "sparsified remote stores answer per-owner node queries and "
+            "cannot serve an edge-partitioned (vertex-cut) layout; use "
+            "remote='none' or 'full' with vertex_cut")
 
     remote_store = None
     if spec.remote == "full":
@@ -148,7 +163,7 @@ def build_trainer(
         sparsified = sparsify_partitions(partitioned, alpha=alpha, rng=rng,
                                          kind=sparsifier_kind, obs=observer)
         remote_store = SparsifiedRemoteStore(
-            graph, sparsified.graphs, partitioned.assignment)
+            graph, sparsified.graphs, partitioned)
 
     correction_hook = None
     if spec.correction:

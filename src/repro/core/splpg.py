@@ -133,7 +133,7 @@ class SpLPG:
         store = SparsifiedRemoteStore(
             split.train_graph,
             prepared.sparsified.graphs,
-            prepared.partitioned.assignment,
+            prepared.partitioned,
         )
         self._trainer = DistributedTrainer(
             framework="splpg",

@@ -133,8 +133,9 @@ class DistributedScorer:
         self.rng = ensure_rng(rng)
         self.backend = backend
         self.timeout_s = float(timeout_s)
-        self.router = ShardRouter(partitioned.assignment,
-                                  partitioned.num_parts)
+        # The router consumes the ownership model (master replicas
+        # under vertex cut), not a raw one-owner-per-node vector.
+        self.router = ShardRouter(partitioned, partitioned.num_parts)
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         self.views = [
             WorkerGraphView(partitioned, part, remote=remote,

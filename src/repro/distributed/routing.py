@@ -31,13 +31,18 @@ class ShardRouter:
     Parameters
     ----------
     assignment:
-        Per-node owner array (node id → shard), the same vector a
-        :class:`~repro.partition.partitioned.PartitionedGraph` carries.
+        A :class:`~repro.partition.partitioned.PartitionedGraph` (its
+        :attr:`~repro.partition.partitioned.PartitionedGraph.node_owner`
+        vector is used — the *master* replica under vertex cut) or a
+        raw per-node owner array (node id → shard).
     num_parts:
         Number of shards in the cluster.
     """
 
-    def __init__(self, assignment: np.ndarray, num_parts: int) -> None:
+    def __init__(self, assignment, num_parts: int) -> None:
+        # Duck-typed: PartitionedGraph exposes node_owner (master under
+        # vertex cut); raw arrays pass through unchanged.
+        assignment = getattr(assignment, "node_owner", assignment)
         self.assignment = np.asarray(assignment, dtype=np.int64)
         self.num_parts = int(num_parts)
         if self.num_parts < 1:

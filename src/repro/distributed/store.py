@@ -117,8 +117,11 @@ class SparsifiedRemoteStore:
     obs = None
 
     def __init__(self, full_graph: Graph, sparsified: List[Graph],
-                 assignment: np.ndarray) -> None:
+                 assignment) -> None:
         self.full_graph = full_graph
+        # Duck-typed owner source: a PartitionedGraph's node_owner (the
+        # master replica under vertex cut) or a raw per-node array.
+        assignment = getattr(assignment, "node_owner", assignment)
         self.assignment = np.asarray(assignment, dtype=np.int64)
         self._sources = [GraphNeighborSource(g) for g in sparsified]
 

@@ -42,7 +42,7 @@ from ..sampling.negative import (
     PerSourceUniformNegativeSampler,
 )
 from ..sampling.neighbor import NeighborSampler
-from .comm import GB, CommMeter, CommRecord
+from .comm import FEATURE_ITEMSIZE, GB, CommMeter, CommRecord
 from .sync import ParameterServer, SyncPlan, broadcast_model
 from .views import WorkerGraphView
 
@@ -93,6 +93,12 @@ class TrainConfig:
     # the run seed — see SyncPlan.for_config.
     sync_plan: Optional[object] = None
     cache_remote_features: bool = False  # epoch-scoped remote feature cache
+    # Partition layout for runs that build their own PartitionedGraph
+    # (repro.api / build_trainer): a repro.partition.PartitionSpec, a
+    # plain strategy name, or the spec's to_dict() form — all
+    # canonicalized to a PartitionSpec here.  None keeps the
+    # framework's default strategy.
+    partition: Optional[object] = None
     # Failure injection (legacy knob): probability that a worker's
     # contribution to a synchronization round is lost.  Compiles to a
     # FaultPlan via FaultPlan.from_probability — same RNG stream as the
@@ -254,6 +260,11 @@ class TrainConfig:
         if self.sync_topology not in ("allreduce", "parameter_server"):
             raise ValueError(
                 "sync_topology must be 'allreduce' or 'parameter_server'")
+        if self.partition is not None:
+            # Accept PartitionSpec | strategy name | to_dict form, like
+            # the FaultPlan/SyncPlan knobs above.
+            from ..partition.registry import PartitionSpec
+            self.partition = PartitionSpec.canonicalize(self.partition)
 
 
 @dataclass
@@ -491,6 +502,20 @@ class DistributedTrainer:
         #: counters and elastic liveness during recovery.
         self.fault_controller = None
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
+        # Vertex-cut replica averaging: every sync event a worker ships
+        # the hidden state of each mirrored node to its master and gets
+        # the averaged copy back (2 × |mirrors| × hidden_dim floats).
+        # This is the communication vertex cut trades its zero
+        # training-time feature fetches for; charged parent-side (in
+        # _synchronize/_ps_round) so all backends stay bit-identical.
+        self._replica_sync_total = 0
+        if partitioned.edge_partitioned:
+            self._replica_sync_nbytes = [
+                2 * int(partitioned.mirror_nodes(part).size)
+                * config.hidden_dim * FEATURE_ITEMSIZE
+                for part in range(partitioned.num_parts)]
+        else:
+            self._replica_sync_nbytes = [0] * partitioned.num_parts
         if observer is not None:
             for meter in self.meters:
                 meter.obs = observer
@@ -821,6 +846,8 @@ class DistributedTrainer:
             sync_stats.update(self.parameter_server.stats())
         elif self.sync_plan is not None:
             sync_stats["sync_every"] = self.sync_plan.sync_every
+        if self.partitioned.edge_partitioned:
+            sync_stats["replica_sync_bytes"] = self._replica_sync_total
         result = TrainResult(
             framework=self.framework,
             test=test,
@@ -837,6 +864,19 @@ class DistributedTrainer:
         return result
 
     # ------------------------------------------------------------------
+
+    def _charge_replica_sync(self,
+                             live: Optional[List[bool]] = None) -> None:
+        """Charge vertex-cut mirror reconciliation for one sync event.
+
+        Parent-side (never inside backend workers) so the ledger is
+        bit-identical across serial/thread/process.  No-op for
+        node-partitioned layouts — ``_replica_sync_nbytes`` is all
+        zeros there."""
+        for part, nbytes in enumerate(self._replica_sync_nbytes):
+            if nbytes and (live is None or live[part]):
+                self.meters[part].charge_sync(nbytes)
+                self._replica_sync_total += nbytes
 
     def _synchronize(self, mode: str,
                      participating: Optional[List[bool]] = None,
@@ -860,10 +900,12 @@ class DistributedTrainer:
 
         if obs is None:
             dispatch(None)
+            self._charge_replica_sync(live)
             return
         before = self.meters[0].current.sync_bytes
         with obs.span("sync", mode=mode) as sp:
             dispatch(obs)
+            self._charge_replica_sync(live)
             moved = self.meters[0].current.sync_bytes - before
             seconds = obs.sync_seconds(moved)
             obs.advance(seconds)
@@ -898,10 +940,12 @@ class DistributedTrainer:
 
         if obs is None:
             dispatch(None)
+            self._charge_replica_sync()
             return
         before = self.meters[0].current.sync_bytes
         with obs.span("sync", mode=self.config.sync) as sp:
             dispatch(obs)
+            self._charge_replica_sync()
             moved = self.meters[0].current.sync_bytes - before
             seconds = obs.sync_seconds(moved)
             obs.advance(seconds)

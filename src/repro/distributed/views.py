@@ -52,7 +52,10 @@ class WorkerGraphView:
         self._local_graph = partitioned.local_graph(part)
         # Worker-local partition structure — free to read by definition.
         self._local = GraphNeighborSource(self._local_graph)  # lint: disable=R002
-        self._owned_mask = partitioned.assignment == part
+        # Which nodes this worker answers structure queries for locally
+        # — owned nodes under node partitioning, every stored endpoint
+        # under vertex cut (where local lists are complete by design).
+        self._owned_mask = partitioned.local_structure_mask(part)
         # Optional optimization beyond the paper's accounting: remember
         # which remote features were already fetched and never pay for
         # them again until the cache is cleared (see the feature-cache
@@ -173,7 +176,7 @@ class WorkerGraphView:
 
     def local_candidate_nodes(self) -> np.ndarray:
         """Nodes a worker can negative-sample without data sharing."""
-        return self.partitioned.owned_nodes(self.part)
+        return self.partitioned.local_candidate_nodes(self.part)
 
     def global_candidate_nodes(self) -> np.ndarray:
         """Full negative-sampling space (needs a remote store)."""

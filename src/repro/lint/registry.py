@@ -50,6 +50,7 @@ def _load_builtin_rules() -> None:
         rules_docs,
         rules_hygiene,
         rules_locality,
+        rules_partition,
         rules_robustness,
         rules_serving,
     )

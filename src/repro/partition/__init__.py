@@ -1,6 +1,13 @@
-"""Graph partitioning: mini-METIS, randomized baselines, worker storage."""
+"""Graph partitioning: strategy registry, mini-METIS, baselines, vertex cut.
 
-from typing import Callable, Optional
+Strategies are first-class :class:`Partitioner` objects resolved through
+the :func:`register`/:func:`get_partitioner` registry (see
+:mod:`repro.partition.registry`); :func:`partition_graph` remains the
+thin compatibility shim over it.  Configs carry a
+:class:`PartitionSpec` instead of loose strategy strings.
+"""
+
+from typing import Optional
 
 import numpy as np
 
@@ -8,18 +15,33 @@ from ..graph.graph import Graph
 from .metis import edge_cut, metis_partition, partition_balance
 from .partitioned import PartitionedGraph
 from .randomized import random_tma_partition, super_tma_partition
+from .registry import (
+    Partitioner,
+    PartitionSpec,
+    get_partitioner,
+    register,
+    registered_partitioners,
+    unregister,
+)
 from .streaming import ldg_partition
+from .vertex_cut import vertex_cut_partition
 
-PartitionFn = Callable[..., np.ndarray]
-
-_STRATEGIES = {
-    "metis": metis_partition,
-    "random_tma": random_tma_partition,
-    "super_tma": super_tma_partition,
-    "ldg": ldg_partition,
-}
-
-PARTITION_STRATEGIES = tuple(_STRATEGIES)
+register(Partitioner(
+    "metis", metis_partition,
+    description="edge-cut-minimizing multilevel bisection (mini-METIS)"))
+register(Partitioner(
+    "random_tma", random_tma_partition,
+    description="i.i.d. uniform node assignment (RandomTMA)"))
+register(Partitioner(
+    "super_tma", super_tma_partition,
+    description="METIS mini-clusters packed randomly (SuperTMA)"))
+register(Partitioner(
+    "ldg", ldg_partition,
+    description="linear deterministic greedy streaming partitioner"))
+register(Partitioner(
+    "vertex_cut", vertex_cut_partition,
+    supports_mirror=False, edge_partitioned=True,
+    description="greedy degree-based edge partitioning, mirrored vertices"))
 
 
 def partition_graph(
@@ -29,27 +51,38 @@ def partition_graph(
     rng: Optional[np.random.Generator] = None,
     mirror: bool = False,
 ) -> PartitionedGraph:
-    """Partition and distribute a graph in one call.
+    """Partition and distribute a graph in one call (compat shim).
 
-    ``strategy`` is one of ``metis`` (edge-cut minimizing),
-    ``random_tma`` or ``super_tma``; ``mirror`` selects SpLPG's
-    full-neighbor storage (see :class:`PartitionedGraph`).
+    Thin wrapper resolving ``strategy`` through the registry and
+    delegating to :meth:`PartitionSpec.build`; ``mirror`` selects
+    SpLPG's full-neighbor storage (see :class:`PartitionedGraph`).
+    New code should construct a :class:`PartitionSpec` (or pass one to
+    ``TrainConfig``/``Session.partition``) instead.
     """
-    if strategy not in _STRATEGIES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; choose from {PARTITION_STRATEGIES}")
-    assignment = _STRATEGIES[strategy](graph, num_parts, rng=rng)
-    return PartitionedGraph.build(graph, assignment, num_parts, mirror=mirror)
+    return PartitionSpec(strategy=strategy, mirror=mirror).build(
+        graph, num_parts, rng=rng)
+
+
+# Historical tuple-valued constant; reflects registration state at
+# import time — the live view is registered_partitioners().
+PARTITION_STRATEGIES = registered_partitioners()
 
 
 __all__ = [
     "PARTITION_STRATEGIES",
+    "PartitionSpec",
     "PartitionedGraph",
+    "Partitioner",
     "edge_cut",
+    "get_partitioner",
+    "ldg_partition",
     "metis_partition",
     "partition_balance",
     "partition_graph",
-    "ldg_partition",
     "random_tma_partition",
+    "register",
+    "registered_partitioners",
     "super_tma_partition",
+    "unregister",
+    "vertex_cut_partition",
 ]

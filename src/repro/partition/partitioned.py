@@ -6,7 +6,7 @@ translation out of the training path and matches how the simulated
 cluster reasons about locality: a :class:`PartitionedGraph` knows, for
 every node, which worker owns it and which workers hold its features.
 
-Two storage modes, following the paper:
+Three storage modes:
 
 * ``mirror=False`` — node-induced partitions: only edges with both
   endpoints in the partition (the baselines; cross-partition edges are
@@ -15,6 +15,20 @@ Two storage modes, following the paper:
   incident to an owned node is stored, so owned nodes keep their full
   neighbor lists; the off-partition endpoints ("halo" nodes) are stored
   together with their feature vectors at distribution time.
+* ``edge_partitioned=True`` (built via :meth:`build_edge_partitioned`)
+  — vertex-cut: *edges* are assigned to partitions and every endpoint
+  of a stored edge is replicated locally, features included.  Each node
+  has a deterministic **master** replica (the partition holding most of
+  its edges, ties to the lowest id; the ``assignment`` vector records
+  masters so node-keyed consumers — routing, inference, serving — keep
+  working unchanged) and zero or more **mirror** replicas that the
+  trainer keeps consistent by replica averaging, charged as sync bytes.
+
+The ownership model (:meth:`owner_of`, :meth:`replicas_of`,
+:meth:`stored_nodes`, :meth:`mirror_nodes`,
+:meth:`local_candidate_nodes`, :meth:`local_structure_mask`) abstracts
+over all three so ``repro.distributed`` never assumes
+one-owner-per-node.
 """
 
 from __future__ import annotations
@@ -38,6 +52,11 @@ class PartitionedGraph:
     parts: List[Graph] = field(default_factory=list)
     local_feature_nodes: List[np.ndarray] = field(default_factory=list)
     _feature_mask: Optional[np.ndarray] = None
+    #: True for vertex-cut layouts: ``assignment`` then records each
+    #: node's *master* replica and ``edge_assignment`` the per-edge
+    #: owner (``full.edge_list()`` order).
+    edge_partitioned: bool = False
+    edge_assignment: Optional[np.ndarray] = None
 
     @classmethod
     def build(cls, graph: Graph, assignment: np.ndarray,
@@ -74,20 +93,128 @@ class PartitionedGraph:
                    local_feature_nodes=local_nodes,
                    _feature_mask=feature_mask)
 
-    # ------------------------------------------------------------------
+    @classmethod
+    def build_edge_partitioned(cls, graph: Graph, edge_assignment: np.ndarray,
+                               num_parts: int) -> "PartitionedGraph":
+        """Assemble vertex-cut storage from a per-*edge* assignment.
+
+        ``edge_assignment`` names the owning partition of every edge in
+        ``graph.edge_list()`` order.  Each partition stores the subgraph
+        of its edges plus features for every endpoint (so training-time
+        feature fetches are zero by construction).  The per-node master
+        is the partition holding most of the node's edges (ties break to
+        the lowest partition id); isolated nodes fall back to
+        ``node_id % num_parts`` and are stored at that master so routing
+        and candidate covers stay total functions over nodes.
+        """
+        edge_assignment = np.asarray(edge_assignment, dtype=np.int64)
+        edges = graph.edge_list()
+        if edge_assignment.size != edges.shape[0]:
+            raise ValueError("edge_assignment must cover every edge")
+        if edge_assignment.size and (edge_assignment.min() < 0
+                                     or edge_assignment.max() >= num_parts):
+            raise ValueError("edge_assignment value out of range")
+
+        parts: List[Graph] = []
+        local_nodes: List[np.ndarray] = []
+        feature_mask = np.zeros((num_parts, graph.num_nodes), dtype=bool)
+        incident = np.zeros((num_parts, graph.num_nodes), dtype=np.int64)
+        for i in range(num_parts):
+            local_edges = edges[edge_assignment == i]
+            parts.append(Graph.from_edges(graph.num_nodes, local_edges))
+            endpoints = local_edges.ravel()
+            stored = np.unique(endpoints)
+            local_nodes.append(stored)
+            feature_mask[i, stored] = True
+            if endpoints.size:
+                np.add.at(incident[i], endpoints, 1)
+
+        # Master replica: most incident edges, ties → lowest partition
+        # id (argmax picks the first maximum).
+        assignment = (np.argmax(incident, axis=0).astype(np.int64)
+                      if num_parts else np.zeros(graph.num_nodes, np.int64))
+        isolated = np.flatnonzero(incident.sum(axis=0) == 0)
+        if isolated.size:
+            assignment[isolated] = isolated % num_parts
+            for i in np.unique(assignment[isolated]):
+                extra = isolated[assignment[isolated] == i]
+                local_nodes[i] = np.union1d(local_nodes[i], extra)
+                feature_mask[i, extra] = True
+        return cls(full=graph, assignment=assignment, num_parts=num_parts,
+                   mirror=True, parts=parts,
+                   local_feature_nodes=local_nodes,
+                   _feature_mask=feature_mask, edge_partitioned=True,
+                   edge_assignment=edge_assignment)
+
+    # -- ownership model ----------------------------------------------------
 
     def owned_nodes(self, part: int) -> np.ndarray:
-        """Node ids assigned to partition ``part``."""
+        """Node ids mastered by partition ``part``."""
         return np.flatnonzero(self.assignment == part)
 
+    @property
+    def node_owner(self) -> np.ndarray:
+        """Per-node owning (master) partition — always one per node,
+        even under vertex cut, so node-keyed routing stays well-defined.
+        """
+        return self.assignment
+
+    def owner_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Owning (master) partition of each of ``nodes``."""
+        return self.assignment[np.asarray(nodes, dtype=np.int64)]
+
+    def replicas_of(self, node: int) -> np.ndarray:
+        """All partitions storing ``node`` (features included), master
+        first by construction only when the master holds edges of the
+        node; sorted by partition id."""
+        return np.flatnonzero(self._feature_mask[:, int(node)])
+
+    def stored_nodes(self, part: int) -> np.ndarray:
+        """Every node partition ``part`` stores (owned + replicas)."""
+        return self.local_feature_nodes[part]
+
+    def mirror_nodes(self, part: int) -> np.ndarray:
+        """Nodes stored at ``part`` but mastered elsewhere.
+
+        Under vertex cut these are the replicas the trainer must keep
+        consistent (replica averaging = sync bytes); under mirrored node
+        partitioning they are the read-only halo copies.
+        """
+        stored = self.local_feature_nodes[part]
+        return stored[self.assignment[stored] != part]
+
+    def local_candidate_nodes(self, part: int) -> np.ndarray:
+        """Nodes a worker may negative-sample with zero communication.
+
+        Node-partitioned layouts restrict workers to their owned nodes;
+        vertex cut stores features for every local endpoint, so the
+        whole stored set is fair game (that is the point of the design).
+        """
+        if self.edge_partitioned:
+            return self.local_feature_nodes[part]
+        return self.owned_nodes(part)
+
+    def local_structure_mask(self, part: int) -> np.ndarray:
+        """Boolean mask over nodes whose structure queries worker
+        ``part`` answers from local storage (the rest go to a remote
+        store when one exists)."""
+        if self.edge_partitioned:
+            return self._feature_mask[part].copy()
+        return self.assignment == part
+
     def owned_edges(self, part: int) -> np.ndarray:
-        """Undirected edges with at least one owned endpoint, each edge
-        assigned to exactly one partition (its lower-id endpoint's
-        owner) so that the union over partitions is a disjoint cover.
+        """The disjoint edge cover of partition ``part``.
+
+        Vertex-cut layouts own edges directly (the assignment *is* the
+        cover); node-partitioned layouts assign each undirected edge to
+        its lower-id endpoint's owner.  Either way the union over
+        partitions is exactly ``full.edge_list()`` with no overlaps.
         """
         edges = self.full.edge_list()
         if edges.size == 0:
             return edges
+        if self.edge_partitioned:
+            return edges[self.edge_assignment == part]
         owner = self.assignment[edges[:, 0]]
         return edges[owner == part]
 

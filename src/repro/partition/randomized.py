@@ -33,12 +33,20 @@ def random_tma_partition(
     """RandomTMA: i.i.d. uniform node-to-partition assignment."""
     if num_parts < 1:
         raise ValueError("num_parts must be >= 1")
+    if num_parts > graph.num_nodes:
+        raise ValueError(
+            f"cannot split {graph.num_nodes} nodes into {num_parts} "
+            "non-empty parts")
     rng = ensure_rng(rng)
     assign = rng.integers(0, num_parts, size=graph.num_nodes)
-    # Guarantee no partition is empty (possible on tiny graphs).
+    # Guarantee no partition is empty (possible on tiny graphs).  Donors
+    # must keep at least one node, otherwise the repair itself empties a
+    # partition when num_nodes is close to num_parts (e.g. equal).
     for part in range(num_parts):
         if not np.any(assign == part):
-            assign[rng.integers(0, graph.num_nodes)] = part
+            counts = np.bincount(assign, minlength=num_parts)
+            donors = np.flatnonzero(counts[assign] > 1)
+            assign[donors[rng.integers(0, donors.size)]] = part
     return assign.astype(np.int64)
 
 
@@ -55,14 +63,21 @@ def super_tma_partition(
     """
     if num_parts < 1:
         raise ValueError("num_parts must be >= 1")
+    if num_parts > graph.num_nodes:
+        raise ValueError(
+            f"cannot split {graph.num_nodes} nodes into {num_parts} "
+            "non-empty parts")
     rng = ensure_rng(rng)
     if num_clusters is None:
         num_clusters = min(16 * num_parts, max(num_parts, graph.num_nodes // 4))
     num_clusters = max(num_parts, num_clusters)
     clusters = metis_partition(graph, num_clusters, rng=rng)
     cluster_to_part = rng.integers(0, num_parts, size=num_clusters)
-    # Keep every partition non-empty.
+    # Keep every partition non-empty without emptying a donor (same
+    # degenerate-case guard as random_tma_partition).
     for part in range(num_parts):
         if not np.any(cluster_to_part == part):
-            cluster_to_part[rng.integers(0, num_clusters)] = part
+            counts = np.bincount(cluster_to_part, minlength=num_parts)
+            donors = np.flatnonzero(counts[cluster_to_part] > 1)
+            cluster_to_part[donors[rng.integers(0, donors.size)]] = part
     return cluster_to_part[clusters].astype(np.int64)

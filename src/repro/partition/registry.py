@@ -1,0 +1,244 @@
+"""First-class partitioner registry and the :class:`PartitionSpec`.
+
+Partition strategies used to live in a private string-keyed dict inside
+``repro.partition.__init__``; adding a strategy meant editing that dict
+and every call site that hard-coded the names.  This module makes the
+strategy a first-class object:
+
+* :class:`Partitioner` — a named, capability-carrying callable.  The
+  capabilities matter: ``edge_partitioned`` partitioners assign *edges*
+  (vertex-cut, producing mirrored vertices) while the classic ones
+  assign nodes, and ``supports_mirror`` says whether SpLPG-style
+  full-neighbor mirroring composes with the strategy.
+* :func:`register` / :func:`get_partitioner` /
+  :func:`registered_partitioners` — the registry.  Unknown names fail
+  with the full list of registered strategies.
+* :class:`PartitionSpec` — the declarative bundle of partition knobs
+  (``strategy``, ``mirror``, strategy-specific ``knobs``) accepted by
+  ``TrainConfig(partition=)`` and ``Session.partition(...)``.  Plain
+  strategy strings and ``to_dict`` round-trips are canonicalized here,
+  mirroring how ``FaultPlan``/``SyncPlan`` travel through configs.
+
+``repro.partition.partition_graph`` remains the thin compatibility shim
+that resolves a name through this registry and builds the
+:class:`~repro.partition.partitioned.PartitionedGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class Partitioner:
+    """A named partition strategy with explicit capabilities.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``"metis"``, ``"vertex_cut"``, ...).
+    fn:
+        The seeded assignment function
+        ``fn(graph, num_parts, rng=..., **knobs) -> np.ndarray``.  Node
+        partitioners return one partition id per *node*; edge
+        partitioners (``edge_partitioned=True``) one id per undirected
+        *edge* in ``graph.edge_list()`` order.
+    supports_mirror:
+        Whether SpLPG's full-neighbor mirroring
+        (``partition_graph(mirror=True)``) composes with the strategy.
+        Edge partitioners set this False — vertex cut is inherently
+        mirrored, so the flag would be meaningless.
+    edge_partitioned:
+        True when the strategy assigns edges and therefore produces
+        mirrored vertices with a master/replica ownership model.
+    description:
+        One line for docs and error messages.
+    """
+
+    name: str
+    fn: Callable[..., np.ndarray]
+    supports_mirror: bool = True
+    edge_partitioned: bool = False
+    description: str = ""
+
+    def __call__(self, graph: Graph, num_parts: int,
+                 rng: Optional[np.random.Generator] = None,
+                 **knobs) -> np.ndarray:
+        """Run the strategy: a seeded assignment vector for ``graph``."""
+        return self.fn(graph, num_parts, rng=rng, **knobs)
+
+
+_REGISTRY: Dict[str, Partitioner] = {}
+
+
+def register(partitioner: Optional[Partitioner] = None, *,
+             name: Optional[str] = None, supports_mirror: bool = True,
+             edge_partitioned: bool = False, description: str = ""):
+    """Add a partition strategy to the registry.
+
+    Two forms.  Direct::
+
+        register(Partitioner("metis", metis_partition, ...))
+
+    or as a decorator over a bare assignment function::
+
+        @register(name="my_strategy", supports_mirror=False)
+        def my_strategy_partition(graph, num_parts, rng=None):
+            ...
+
+    Duplicate names are rejected — use :func:`unregister` first when
+    replacing a strategy (tests, plugins).
+    """
+    def _add(p: Partitioner) -> Partitioner:
+        if not p.name:
+            raise ValueError("partitioner needs a non-empty name")
+        if p.name in _REGISTRY:
+            raise ValueError(
+                f"partitioner {p.name!r} already registered; "
+                "unregister() it first to replace")
+        _REGISTRY[p.name] = p
+        return p
+
+    if partitioner is not None:
+        if not isinstance(partitioner, Partitioner):
+            raise TypeError(
+                "register() takes a Partitioner (or keyword arguments "
+                f"for the decorator form), got "
+                f"{type(partitioner).__name__}")
+        return _add(partitioner)
+
+    def _decorator(fn: Callable[..., np.ndarray]) -> Callable:
+        _add(Partitioner(name=name or fn.__name__, fn=fn,
+                         supports_mirror=supports_mirror,
+                         edge_partitioned=edge_partitioned,
+                         description=description))
+        return fn
+
+    return _decorator
+
+
+def unregister(name: str) -> None:
+    """Remove a registered strategy (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_partitioner(name: str) -> Partitioner:
+    """Resolve a strategy name; unknown names list what is registered."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition strategy {name!r}; registered: "
+            f"{registered_partitioners()}") from None
+
+
+def registered_partitioners() -> Tuple[str, ...]:
+    """Names of every registered strategy, in registration order."""
+    return tuple(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Declarative partition configuration.
+
+    Folds the loose partition knobs (``strategy``, ``mirror``,
+    strategy-specific extras like LDG's ``order`` or vertex-cut's
+    ``balance_factor``) into one value that travels through
+    ``TrainConfig(partition=)``, ``repro.resolve_config`` and
+    ``Session.partition(...)`` and round-trips through JSON like
+    ``FaultPlan`` does::
+
+        PartitionSpec("vertex_cut")
+        PartitionSpec("metis", mirror=True)          # SpLPG storage
+        PartitionSpec("ldg", knobs={"order": "bfs"})
+        PartitionSpec.canonicalize("random_tma")      # plain string ok
+    """
+
+    strategy: str = "metis"
+    mirror: bool = False
+    knobs: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        partitioner = get_partitioner(self.strategy)  # validates name
+        if self.mirror and not partitioner.supports_mirror:
+            reason = ("it is edge-partitioned (inherently mirrored)"
+                      if partitioner.edge_partitioned
+                      else "the strategy does not support mirroring")
+            raise ValueError(
+                f"mirror=True is invalid for strategy "
+                f"{self.strategy!r}: {reason}")
+        if not isinstance(self.knobs, Mapping):
+            raise ValueError(
+                f"knobs must be a mapping, got "
+                f"{type(self.knobs).__name__}")
+        object.__setattr__(self, "knobs", dict(self.knobs))
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The registered :class:`Partitioner` this spec names."""
+        return get_partitioner(self.strategy)
+
+    @property
+    def edge_partitioned(self) -> bool:
+        """Whether this spec assigns edges (mirrored-vertex model)."""
+        return self.partitioner.edge_partitioned
+
+    @classmethod
+    def canonicalize(cls, value) -> "PartitionSpec":
+        """Accept a spec, a plain strategy string, or a dict form.
+
+        This is the single entry point configs use, so
+        ``TrainConfig(partition="vertex_cut")``,
+        ``TrainConfig(partition={"strategy": "ldg", "mirror": False})``
+        and a ready :class:`PartitionSpec` all mean the same thing.
+        """
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(strategy=value)
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise ValueError(
+            "partition must be a PartitionSpec, a strategy name, or a "
+            f"spec dict; got {type(value).__name__}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {"strategy": self.strategy, "mirror": self.mirror,
+                "knobs": dict(self.knobs)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PartitionSpec":
+        """Rebuild a spec from its :meth:`to_dict` form."""
+        extra = set(data) - {"strategy", "mirror", "knobs"}
+        if extra:
+            raise ValueError(
+                f"unknown PartitionSpec field(s) {sorted(extra)}")
+        return cls(strategy=data.get("strategy", "metis"),
+                   mirror=bool(data.get("mirror", False)),
+                   knobs=dict(data.get("knobs", {})))
+
+    def build(self, graph: Graph, num_parts: int,
+              rng: Optional[np.random.Generator] = None):
+        """Partition ``graph`` per this spec.
+
+        Resolves the strategy through the registry, runs the seeded
+        assignment and assembles the
+        :class:`~repro.partition.partitioned.PartitionedGraph` —
+        edge-partitioned strategies build the mirrored-vertex ownership
+        model, node strategies the classic one-owner-per-node layout.
+        """
+        from .partitioned import PartitionedGraph
+
+        partitioner = self.partitioner
+        assignment = partitioner(graph, num_parts, rng=rng, **self.knobs)
+        if partitioner.edge_partitioned:
+            return PartitionedGraph.build_edge_partitioned(
+                graph, assignment, num_parts)
+        return PartitionedGraph.build(graph, assignment, num_parts,
+                                      mirror=self.mirror)

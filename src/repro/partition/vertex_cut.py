@@ -1,0 +1,132 @@
+"""Vertex-cut (edge-partitioned) partitioning.
+
+The strategies in :mod:`repro.partition.metis` / ``randomized`` /
+``streaming`` are all *edge-cut*: nodes go to exactly one worker and
+cross-partition edges are either dropped (node-induced baselines) or
+force remote feature fetches during training.  Vertex cut inverts the
+model — *edges* go to exactly one worker and high-degree vertices are
+replicated ("mirrored") on every worker that holds one of their edges.
+Training then needs **zero feature communication** (every worker stores
+features for all endpoints of its edges); the cost moves to keeping the
+mirrored copies consistent, which the trainer charges as
+replica-averaging sync bytes.  This is the design of the
+"Communication-Free Distributed GNN Training with Vertex Cut"
+competitor the benchmark frontier compares against SpLPG.
+
+:func:`vertex_cut_partition` is PowerGraph-style greedy placement: edges
+are visited in a seeded random order and each is placed by the classic
+rules (intersect the endpoints' replica sets when possible, otherwise
+grow the replica set of the endpoint with more unplaced edges), with a
+capacity cap so no worker hoards edges.  The result is an *edge*
+assignment vector; :meth:`PartitionedGraph.build_edge_partitioned`
+derives the mirrored-vertex ownership model from it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..rng import ensure_rng
+from ..graph.graph import Graph
+
+
+def vertex_cut_partition(
+    graph: Graph,
+    num_parts: int,
+    rng: Optional[np.random.Generator] = None,
+    balance_factor: float = 1.1,
+) -> np.ndarray:
+    """Greedy degree-based vertex-cut: one partition id per edge.
+
+    Edges (``graph.edge_list()`` order) are placed one at a time in a
+    seeded random order.  For edge ``(u, v)`` with current replica sets
+    ``R(u)``/``R(v)`` (partitions already holding an edge of the node):
+
+    1. If ``R(u) ∩ R(v)`` is non-empty, pick the least-loaded partition
+       in the intersection (no new replica needed).
+    2. Else if both nodes are placed, pick the least-loaded partition
+       from the replica set of the endpoint with more *remaining*
+       unplaced edges (the high-degree node keeps its replicas, the
+       low-degree node grows one — the PowerGraph degree heuristic).
+    3. Else if one node is placed, pick the least-loaded of its
+       replicas.
+    4. Else pick the globally least-loaded partition.
+
+    A partition at or above ``balance_factor * num_edges / num_parts``
+    edges is skipped in favor of the globally least-loaded one, bounding
+    imbalance.  Ties always break toward the lowest partition id, so the
+    assignment is a pure function of ``(graph, num_parts, seed)``.
+
+    Returns an int64 vector of length ``graph.num_edges`` — every
+    partition is guaranteed at least one edge (requires
+    ``num_parts <= num_edges``).
+    """
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    edges = graph.edge_list()
+    m = int(edges.shape[0])
+    if num_parts > m:
+        raise ValueError(
+            f"cannot vertex-cut {m} edges into {num_parts} parts; "
+            "every partition needs at least one edge")
+    rng = ensure_rng(rng)
+
+    if num_parts == 1:
+        return np.zeros(m, dtype=np.int64)
+
+    order = rng.permutation(m)
+    capacity = balance_factor * m / num_parts
+    # replicas[v, p] — partition p already stores an edge of node v.
+    replicas = np.zeros((graph.num_nodes, num_parts), dtype=bool)
+    loads = np.zeros(num_parts, dtype=np.int64)
+    # Unplaced-edge count per node, for the degree heuristic (rule 2).
+    remaining = graph.degrees.astype(np.int64).copy()
+    assignment = np.full(m, -1, dtype=np.int64)
+
+    for e in order:
+        u, v = int(edges[e, 0]), int(edges[e, 1])
+        ru, rv = replicas[u], replicas[v]
+        both = ru & rv
+        if both.any():
+            candidates = both
+        elif ru.any() and rv.any():
+            candidates = ru if remaining[u] >= remaining[v] else rv
+        elif ru.any():
+            candidates = ru
+        elif rv.any():
+            candidates = rv
+        else:
+            candidates = None
+
+        if candidates is None:
+            part = int(np.argmin(loads))
+        else:
+            cand_ids = np.flatnonzero(candidates)
+            part = int(cand_ids[np.argmin(loads[cand_ids])])
+            if loads[part] >= capacity:
+                part = int(np.argmin(loads))
+
+        assignment[e] = part
+        loads[part] += 1
+        replicas[u, part] = True
+        replicas[v, part] = True
+        remaining[u] -= 1
+        remaining[v] -= 1
+
+    # The capacity spill normally keeps every partition populated, but
+    # guarantee it: steal single edges from the most-loaded donors
+    # (deterministic — lowest empty part takes from the heaviest donor
+    # that can spare an edge).
+    for part in range(num_parts):
+        if loads[part] == 0:
+            donor = int(np.argmax(loads))
+            if loads[donor] <= 1:
+                raise RuntimeError("unreachable: num_parts <= num_edges")
+            moved = int(np.flatnonzero(assignment == donor)[0])
+            assignment[moved] = part
+            loads[donor] -= 1
+            loads[part] += 1
+
+    return assignment

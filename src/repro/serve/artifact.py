@@ -239,7 +239,9 @@ def export_servable(model: LinkPredictionModel,
         model.train()
     table = np.concatenate(rows, axis=0) if rows else table
     embed_dim = int(table.shape[1])
-    assignment = np.asarray(partitioned.assignment, dtype=np.int64)
+    # Master ownership (node_owner == assignment for node-partitioned
+    # layouts; the master replica under vertex cut) keys the shards.
+    assignment = np.asarray(partitioned.node_owner, dtype=np.int64)
     shard_nodes = [partitioned.owned_nodes(p)
                    for p in range(partitioned.num_parts)]
     shard_embeddings = [table[nodes] for nodes in shard_nodes]

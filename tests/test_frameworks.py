@@ -15,7 +15,10 @@ class TestFrameworkSpecs:
                     "random_tma_plus", "super_tma", "super_tma_plus",
                     "llcg", "splpg", "splpg_plus", "splpg_minus",
                     "splpg_minus_minus"}
-        assert set(FRAMEWORK_NAMES) == expected
+        # The zoo has grown beyond the paper (vertex_cut competitor);
+        # the paper's own frameworks must all still be present.
+        assert expected <= set(FRAMEWORK_NAMES)
+        assert "vertex_cut" in FRAMEWORK_NAMES
 
     def test_labels_cover_everything(self):
         for name in FRAMEWORK_NAMES:

@@ -6,13 +6,21 @@ import pytest
 from repro.graph import Graph, load_dataset, synthetic_lp_graph
 from repro.partition import (
     PartitionedGraph,
+    PartitionSpec,
     edge_cut,
+    get_partitioner,
     metis_partition,
     partition_balance,
     partition_graph,
     random_tma_partition,
+    registered_partitioners,
     super_tma_partition,
 )
+
+#: Snapshot of the built-in registry: every strategy here is exercised
+#: by TestEveryRegisteredStrategy, so a newly registered partitioner is
+#: automatically covered by the shared invariants.
+ALL_STRATEGIES = registered_partitioners()
 
 
 @pytest.fixture(scope="module")
@@ -102,6 +110,23 @@ class TestRandomized:
         with pytest.raises(ValueError):
             super_tma_partition(community_g, 0, rng=rng)
 
+    def test_random_tma_num_nodes_equals_num_parts(self):
+        """Degenerate case: the empty-partition repair must not empty a
+        donor partition (regression: the old repair reassigned an
+        arbitrary node, which could steal a partition's only member)."""
+        g = Graph.from_edges(6, [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]])
+        for seed in range(40):
+            a = random_tma_partition(g, 6,
+                                     rng=np.random.default_rng(seed))
+            assert np.unique(a).size == 6, f"empty partition at seed {seed}"
+
+    def test_random_tma_more_parts_than_nodes_rejected(self):
+        g = Graph.from_edges(3, [[0, 1], [1, 2]])
+        with pytest.raises(ValueError):
+            random_tma_partition(g, 4, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            super_tma_partition(g, 4, rng=np.random.default_rng(0))
+
 
 class TestPartitionedGraph:
     def test_induced_drops_cross_edges(self, community_g, rng):
@@ -183,3 +208,59 @@ class TestPartitionedGraph:
     def test_unknown_strategy(self, community_g, rng):
         with pytest.raises(ValueError):
             partition_graph(community_g, 4, "spectral", rng=rng)
+
+    def test_unknown_strategy_error_lists_registered(self, community_g):
+        with pytest.raises(ValueError, match="metis"):
+            partition_graph(community_g, 4, "spectral")
+
+
+class TestEveryRegisteredStrategy:
+    """Shared invariants, parameterized over the whole registry.
+
+    A newly registered partitioner is exercised here automatically —
+    no per-strategy test edits needed.
+    """
+
+    @staticmethod
+    def _assign(name, graph, num_parts, seed=0):
+        return get_partitioner(name)(graph, num_parts,
+                                     rng=np.random.default_rng(seed))
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_no_empty_partitions(self, community_g, name):
+        p = get_partitioner(name)
+        a = self._assign(name, community_g, 4)
+        expected = (community_g.num_edges if p.edge_partitioned
+                    else community_g.num_nodes)
+        assert a.shape == (expected,)
+        assert set(np.unique(a)) == set(range(4))
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_same_seed_determinism(self, community_g, name):
+        a = self._assign(name, community_g, 4, seed=123)
+        b = self._assign(name, community_g, 4, seed=123)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_balance_bounds(self, community_g, name):
+        # Loose shared bound: no strategy may concentrate more than 2x
+        # the mean load (edges for edge partitioners, nodes otherwise)
+        # on one partition of this well-behaved community graph.
+        a = self._assign(name, community_g, 4)
+        assert partition_balance(a, 4) <= 2.0
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_spec_builds_partitioned_graph(self, community_g, name):
+        p = get_partitioner(name)
+        pg = PartitionSpec(strategy=name).build(
+            community_g, 4, rng=np.random.default_rng(5))
+        assert pg.num_parts == 4
+        assert pg.edge_partitioned == p.edge_partitioned
+        # The disjoint edge cover is total for every ownership model.
+        total = sum(pg.owned_edges(part).shape[0] for part in range(4))
+        assert total == community_g.num_edges
+
+    @pytest.mark.parametrize("name", ALL_STRATEGIES)
+    def test_invalid_num_parts_rejected(self, community_g, name):
+        with pytest.raises(ValueError):
+            self._assign(name, community_g, 0)
