@@ -1,0 +1,267 @@
+"""Checkpoint/resume benchmark: durability cost and bit-identity proof.
+
+For every execution backend the suite runs three trainings of one
+deterministic link-prediction workload from the same seed:
+
+* **baseline** — uninterrupted, no checkpointing: the ground-truth
+  :meth:`~repro.distributed.trainer.TrainResult.digest`;
+* **checkpointed** — same run with ``checkpoint_dir`` set and
+  ``checkpoint_every=1``: its digest must equal the baseline
+  (durability must not perturb the trajectory) and the wall-clock
+  delta is the headline overhead number;
+* **crash + resume** — same run again, but a round hook aborts the
+  coordinator loop mid-epoch; a fresh trainer is rebuilt from the
+  durable snapshot via :func:`repro.checkpoint.rebuild_trainer` and
+  trained to completion.  Its digest must equal the baseline too —
+  the bit-identical-resumption contract.
+
+Alongside, the store itself is timed in isolation: one
+``capture_trainer_state`` + :meth:`CheckpointStore.write` and one
+:meth:`CheckpointStore.latest` round-trip, plus the snapshot payload
+size on disk.
+
+The validator enforces digest equality within every backend row *and*
+across backends (one workload, one trajectory, nine digests, one
+value).
+
+Emitted schema (``BENCH_checkpoint.json``)::
+
+    {
+      "schema": "bench_checkpoint/v1",
+      "config": {...workload knobs...},
+      "results": [
+        {"backend": "serial", "digest": "...", "ckpt_digest": "...",
+         "resume_digest": "...", "resumed_from": 1,
+         "snapshot_nbytes": 123456, "write_ms": 1.2, "read_ms": 0.8,
+         "wall_s": 1.0, "ckpt_wall_s": 1.1},
+        ...
+      ]
+    }
+
+Run via ``scripts/bench.py --suite checkpoint`` (``--smoke`` for the
+CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.checkpoint import load_checkpoint, rebuild_trainer
+from repro.checkpoint.state import capture_trainer_state
+from repro.checkpoint.store import CheckpointStore
+from repro.core.frameworks import FRAMEWORKS, build_trainer
+from repro.distributed import TrainConfig
+from repro.distributed import trainer as trainer_mod
+from repro.graph import split_edges, synthetic_lp_graph
+
+SCHEMA = "bench_checkpoint/v1"
+
+#: Full-size workload: several epochs so the checkpoint cadence and
+#: the mid-run crash both land well inside the run.
+FULL = dict(num_nodes=900, target_edges=3600, feature_dim=32,
+            hidden_dim=32, num_layers=2, fanouts=(8, 5), batch_size=96,
+            epochs=4, workers=3, framework="splpg", sync="barrier",
+            crash_epoch=2, seed=7)
+
+#: CI-sized workload: the whole sweep finishes in seconds; numbers
+#: only validate the schema and the digest-equality gates.
+SMOKE = dict(num_nodes=240, target_edges=900, feature_dim=16,
+             hidden_dim=16, num_layers=2, fanouts=(5, 5), batch_size=64,
+             epochs=3, workers=2, framework="splpg", sync="barrier",
+             crash_epoch=1, seed=7)
+
+
+class _PlannedCrash(RuntimeError):
+    """Raised by the round hook to abort the coordinator loop."""
+
+
+def _build_split(params: Dict):
+    """Synthesize the benchmark graph and edge split (seeded)."""
+    rng = np.random.default_rng(params["seed"])
+    graph = synthetic_lp_graph(
+        num_nodes=params["num_nodes"], target_edges=params["target_edges"],
+        feature_dim=params["feature_dim"], num_communities=8, rng=rng)
+    return split_edges(graph, rng=rng)
+
+
+def _bench_config(params: Dict, backend: str,
+                  checkpoint_dir: Optional[str] = None) -> TrainConfig:
+    """TrainConfig for one run of the workload."""
+    return TrainConfig(
+        hidden_dim=params["hidden_dim"], num_layers=params["num_layers"],
+        fanouts=params["fanouts"], batch_size=params["batch_size"],
+        epochs=params["epochs"], seed=params["seed"],
+        sync=params["sync"], eval_every=max(params["epochs"], 1),
+        backend=backend, num_workers=params["workers"], observe=False,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=1)
+
+
+def _fresh_trainer(params: Dict, split, backend: str,
+                   checkpoint_dir: Optional[str] = None):
+    """Build one trainer for the workload (seeded)."""
+    config = _bench_config(params, backend, checkpoint_dir)
+    return build_trainer(FRAMEWORKS[params["framework"]], split,
+                         params["workers"], config,
+                         rng=np.random.default_rng(params["seed"]))
+
+
+def _crash_resume_digest(params: Dict, split, backend: str,
+                         ckpt_dir: str) -> Dict:
+    """Crash mid-epoch, resume from disk, return digest + resume point."""
+    crash_epoch = params["crash_epoch"]
+
+    def _hook(_trainer, epoch: int, rnd: int) -> None:
+        """Abort the coordinator loop at the planned point."""
+        if epoch == crash_epoch and rnd == 0:
+            raise _PlannedCrash(f"planned crash at epoch {epoch}")
+
+    trainer = _fresh_trainer(params, split, backend, ckpt_dir)
+    previous = trainer_mod.set_round_hook(_hook)
+    try:
+        trainer.train()
+        raise AssertionError("planned crash never fired — raise "
+                             "crash_epoch below epochs")
+    except _PlannedCrash:
+        pass
+    finally:
+        trainer_mod.set_round_hook(previous)
+
+    meta, state = load_checkpoint(ckpt_dir)
+    resumed = rebuild_trainer(meta, state, split)
+    result = resumed.train()
+    return {"digest": result.digest(), "resumed_from": int(meta["epoch"])}
+
+
+def _store_roundtrip(params: Dict, split, ckpt_dir: str) -> Dict:
+    """Time one snapshot write and one verified read in isolation."""
+    trainer = _fresh_trainer(params, split, "serial")
+    trainer.backend.bind(trainer)
+    try:
+        state = capture_trainer_state(trainer, epoch=0, rnd=0)
+    finally:
+        trainer.backend.close()
+    store = CheckpointStore(ckpt_dir)
+    started = time.perf_counter()
+    info = store.write(state, epoch=0, rnd=0)
+    write_ms = (time.perf_counter() - started) * 1000.0
+    started = time.perf_counter()
+    store.latest()
+    read_ms = (time.perf_counter() - started) * 1000.0
+    return {"snapshot_nbytes": int(info.nbytes),
+            "write_ms": round(write_ms, 3), "read_ms": round(read_ms, 3)}
+
+
+def run_bench(
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    params: Optional[Dict] = None,
+) -> Dict:
+    """Run the sweep and return the ``bench_checkpoint/v1`` document."""
+    params = dict(FULL if params is None else params)
+    if params["crash_epoch"] < 1 or params["crash_epoch"] >= params["epochs"]:
+        raise ValueError("crash_epoch must land strictly inside the run "
+                         "with at least one durable checkpoint before it")
+    split = _build_split(params)
+    results: List[Dict] = []
+    for backend in backends:
+        started = time.perf_counter()
+        baseline = _fresh_trainer(params, split, backend).train()
+        wall = time.perf_counter() - started
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+            ckpt_dir = os.path.join(tmp, "run")
+            started = time.perf_counter()
+            checkpointed = _fresh_trainer(
+                params, split, backend, ckpt_dir).train()
+            ckpt_wall = time.perf_counter() - started
+            timings = _store_roundtrip(
+                params, split, os.path.join(tmp, "roundtrip"))
+            resume = _crash_resume_digest(
+                params, split, backend, os.path.join(tmp, "crash"))
+
+        results.append({
+            "backend": backend,
+            "digest": baseline.digest(),
+            "ckpt_digest": checkpointed.digest(),
+            "resume_digest": resume["digest"],
+            "resumed_from": resume["resumed_from"],
+            "snapshot_nbytes": timings["snapshot_nbytes"],
+            "write_ms": timings["write_ms"],
+            "read_ms": timings["read_ms"],
+            "wall_s": round(wall, 4),
+            "ckpt_wall_s": round(ckpt_wall, 4),
+        })
+    return {
+        "schema": SCHEMA,
+        "config": {**params, "backends": list(backends),
+                   "fanouts": list(params["fanouts"])},
+        "host": _host_info(),
+        "results": results,
+    }
+
+
+def _host_info() -> Dict:
+    """CPU topology the sweep ran on (context for wall_s columns)."""
+    try:
+        schedulable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        schedulable = os.cpu_count() or 1
+    return {"cpu_count": os.cpu_count() or 1,
+            "schedulable_cpus": schedulable}
+
+
+def validate_document(doc: Dict) -> List[str]:
+    """Schema + identity check for a ``bench_checkpoint/v1`` document.
+
+    Beyond field presence, enforces the claims the artifact exists to
+    make: within every backend the baseline, checkpointed and resumed
+    digests are one value; that value is the same across backends;
+    every resume actually started from a durable snapshot; and the
+    snapshot payload is non-trivial.
+    """
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be a dict")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        problems.append("results must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        for key, kinds in (("backend", str), ("digest", str),
+                           ("ckpt_digest", str), ("resume_digest", str),
+                           ("resumed_from", int), ("snapshot_nbytes", int),
+                           ("write_ms", (int, float)),
+                           ("read_ms", (int, float)),
+                           ("wall_s", (int, float)),
+                           ("ckpt_wall_s", (int, float))):
+            if not isinstance(row.get(key), kinds):
+                problems.append(f"results[{i}].{key} missing or wrong type")
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        backend = row.get("backend", "?")
+        if row.get("ckpt_digest") != row.get("digest"):
+            problems.append(
+                f"{backend}: checkpointing perturbed the run "
+                "(ckpt_digest != digest)")
+        if row.get("resume_digest") != row.get("digest"):
+            problems.append(
+                f"{backend}: resumed digest != uninterrupted digest "
+                "(bit-identity broken)")
+        if isinstance(row.get("resumed_from"), int) and \
+                row["resumed_from"] < 0:
+            problems.append(f"{backend}: resume never loaded a snapshot")
+        if isinstance(row.get("snapshot_nbytes"), int) and \
+                row["snapshot_nbytes"] <= 0:
+            problems.append(f"{backend}: empty snapshot payload")
+    digests = {r.get("digest") for r in rows if isinstance(r, dict)}
+    if len(digests) > 1:
+        problems.append(
+            f"digest diverged across backends: {sorted(map(str, digests))}")
+    return problems

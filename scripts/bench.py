@@ -23,6 +23,10 @@ Suites:
   vertex_cut) with cross-backend accuracy and byte-ledger equality
   enforced (writes ``BENCH_partition.json``, schema
   ``bench_partition/v1``).
+* ``checkpoint`` — durable checkpoint/resume: per-backend baseline vs
+  checkpointed vs crash-resumed digests (all must be one value, also
+  across backends), snapshot size and store write/read latency
+  (writes ``BENCH_checkpoint.json``, schema ``bench_checkpoint/v1``).
 
 ``--smoke`` runs a miniature workload, validates the emitted document
 against the suite schema, and exits non-zero on any problem.
@@ -146,6 +150,34 @@ def _run_partition(args) -> int:
     return _finish(doc, problems, args, "BENCH_partition.json")
 
 
+def _run_checkpoint(args) -> int:
+    """The durable checkpoint/resume sweep."""
+    from benchmarks.bench_checkpoint import (
+        FULL as CKPT_FULL,
+        SMOKE as CKPT_SMOKE,
+        run_bench as run_ckpt_bench,
+        validate_document as validate_ckpt,
+    )
+
+    params = CKPT_SMOKE if args.smoke else CKPT_FULL
+    doc = run_ckpt_bench(params=params)
+    problems = validate_ckpt(doc)
+    print(f"host: {doc['host']['schedulable_cpus']} schedulable cpu(s)")
+    for row in doc["results"]:
+        identical = (row["digest"] == row["ckpt_digest"]
+                     == row["resume_digest"])
+        print(f"{row['backend']:>8s}  "
+              f"digest={row['digest'][:16]}…  "
+              f"identical={'yes' if identical else 'NO'}  "
+              f"resumed_from={row['resumed_from']}  "
+              f"snap={row['snapshot_nbytes']:>8d}B  "
+              f"write={row['write_ms']:7.2f}ms  "
+              f"read={row['read_ms']:7.2f}ms  "
+              f"wall={row['wall_s']:7.3f}s  "
+              f"ckpt_wall={row['ckpt_wall_s']:7.3f}s")
+    return _finish(doc, problems, args, "BENCH_checkpoint.json")
+
+
 def _finish(doc, problems, args, default_name: str) -> int:
     """Report problems; persist the document for full runs."""
     if problems:
@@ -165,7 +197,8 @@ def main(argv=None) -> int:
     """Parse arguments and dispatch to the selected suite."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--suite",
-                        choices=("backends", "serve", "sync", "partition"),
+                        choices=("backends", "serve", "sync", "partition",
+                                 "checkpoint"),
                         default="backends",
                         help="benchmark suite to run (default: backends)")
     parser.add_argument("--smoke", action="store_true",
@@ -186,6 +219,8 @@ def main(argv=None) -> int:
         return _run_sync(args)
     if args.suite == "partition":
         return _run_partition(args)
+    if args.suite == "checkpoint":
+        return _run_checkpoint(args)
     return _run_backends(args)
 
 

@@ -23,6 +23,9 @@ python -m repro.lint --select R001,R101,R102,R103 tests scripts benchmarks
 echo "== chaos smoke (fault tolerance) =="
 python -m repro.faults chaos --smoke
 
+echo "== kill-driver smoke (SIGKILL coordinator, bit-identical resume) =="
+python -m repro.faults chaos --smoke --kill-driver
+
 echo "== serve smoke (cross-backend digest) =="
 python -m repro.serve --smoke
 
@@ -31,6 +34,7 @@ python scripts/bench.py --smoke
 python scripts/bench.py --smoke --suite serve
 python scripts/bench.py --smoke --suite sync
 python scripts/bench.py --smoke --suite partition
+python scripts/bench.py --smoke --suite checkpoint
 
 echo "== docs links =="
 python scripts/check_links.py

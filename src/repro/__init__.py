@@ -25,7 +25,7 @@ See :mod:`repro.api` for the full front door (including the chainable
 import warnings as _warnings
 
 from . import api
-from .api import Session, resolve_config, run
+from .api import Session, SessionStateError, resolve_config, run
 from .core import (
     FRAMEWORK_NAMES,
     FRAMEWORKS,
@@ -73,6 +73,7 @@ __all__ = [
     "api",
     "run",
     "Session",
+    "SessionStateError",
     "resolve_config",
     "FRAMEWORK_NAMES",
     "FRAMEWORKS",

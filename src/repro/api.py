@@ -47,7 +47,17 @@ from .distributed.trainer import DistributedTrainer, TrainConfig, TrainResult
 from .graph.graph import Graph
 from .graph.splits import EdgeSplit, split_edges
 
-__all__ = ["run", "Session", "resolve_config"]
+__all__ = ["run", "Session", "SessionStateError", "resolve_config"]
+
+
+class SessionStateError(RuntimeError):
+    """A :class:`Session` method was called in the wrong lifecycle
+    state (e.g. :meth:`Session.export` before :meth:`Session.train`).
+
+    Subclasses ``RuntimeError`` so pre-existing callers that caught
+    the bare error keep working; the message always says which call is
+    missing.
+    """
 
 #: TrainConfig fields an ExperimentScale preset provides defaults for.
 _SCALE_FIELDS = ("hidden_dim", "num_layers", "fanouts", "batch_size",
@@ -105,6 +115,7 @@ def run(
     scale=None,
     alpha: float = 0.15,
     sparsifier_kind: str = "approx_er",
+    resume: Optional[str] = None,
     **cfg,
 ) -> TrainResult:
     """Train a framework end to end and return its :class:`TrainResult`.
@@ -117,6 +128,15 @@ def run(
     optional :class:`~repro.experiments.config.ExperimentScale` or
     preset name, and ``**cfg`` any :class:`TrainConfig` override.
 
+    ``resume`` continues a previous run from the durable checkpoint
+    directory it wrote (``checkpoint_dir=`` / ``Session.checkpoint``):
+    the stored :class:`TrainConfig` — framework, workers, backend and
+    all — is rebuilt verbatim, so ``**cfg`` overrides are rejected and
+    the ``framework``/``workers``/``backend``/``scale`` arguments are
+    ignored.  The data source must be the original workload: its split
+    fingerprint is checked against the checkpoint
+    (:class:`~repro.checkpoint.CheckpointMismatchError` otherwise).
+
     >>> import repro
     >>> result = repro.run("splpg", dataset="cora", workers=4,
     ...                    backend="process", scale="smoke")  # doctest: +SKIP
@@ -128,6 +148,29 @@ def run(
             f"(got {sources})")
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if resume is not None:
+        if cfg:
+            raise ValueError(
+                "resume= rebuilds the checkpoint's stored TrainConfig "
+                f"verbatim; overrides {sorted(cfg)} are not allowed — "
+                "drop resume= to start a fresh run with them")
+        from .checkpoint import load_checkpoint, rebuild_trainer
+
+        meta, state = load_checkpoint(resume)
+        seed = int(meta["config"]["seed"])
+        if dataset is not None:
+            if isinstance(scale, str) or scale is None:
+                from .experiments.config import ExperimentScale
+                data_scale = (_scale_preset(scale)
+                              if isinstance(scale, str)
+                              else ExperimentScale.quick())
+            else:
+                data_scale = scale
+            split = data_scale.load_split(dataset)
+        elif graph is not None:
+            split = split_edges(graph,
+                                rng=np.random.default_rng(seed + 101))
+        return rebuild_trainer(meta, state, split).train()
     config = resolve_config(scale, backend=backend, num_workers=workers,
                             **cfg)
     if dataset is not None:
@@ -323,6 +366,59 @@ class Session:
         self._overrides.update(knobs)
         return self
 
+    def checkpoint(self, path, every: int = 1) -> "Session":
+        """Write durable session checkpoints into ``path`` while
+        training, every ``every`` epochs (see :mod:`repro.checkpoint`).
+
+        A later :meth:`resume` (or :func:`run` with ``resume=``) on the
+        same directory continues a killed run bit-identically::
+
+            session.checkpoint("ckpts", every=2).train()
+        """
+        import os
+
+        if every < 1:
+            raise ValueError("every must be >= 1 (epochs between "
+                             "durable snapshots)")
+        self._overrides["checkpoint_dir"] = os.fspath(path)
+        self._overrides["checkpoint_every"] = int(every)
+        return self
+
+    def restore(self, path) -> "Session":
+        """Rebuild the trainer from the newest checkpoint in ``path``.
+
+        The stored config decides the framework, worker count and
+        backend (the session's own settings are replaced); the
+        session's graph/split must be the original workload — its
+        fingerprint is verified.  Restoring does not train: use
+        :meth:`resume` to continue the run, or :meth:`export` to
+        freeze the checkpointed best-validation weights directly.
+        """
+        from .checkpoint import load_checkpoint, rebuild_trainer
+
+        meta, state = load_checkpoint(path)
+        if self._split is None:
+            seed = int(meta["config"]["seed"])
+            self._split = split_edges(
+                self._graph, rng=np.random.default_rng(seed + 101))
+        self._trainer = rebuild_trainer(meta, state, self._split)
+        self._framework = meta["framework"]
+        self._workers = int(meta["num_workers"])
+        self._backend = self._trainer.config.backend
+        self._result = None
+        return self
+
+    def resume(self, path) -> TrainResult:
+        """Continue a checkpointed run to completion.
+
+        Equivalent to :meth:`restore` followed by training the
+        restored trainer; the returned result is bit-identical to the
+        uninterrupted run's (same :meth:`TrainResult.digest`).
+        """
+        self.restore(path)
+        self._result = self._trainer.train()
+        return self._result
+
     # -- execution ------------------------------------------------------
 
     def config(self) -> TrainConfig:
@@ -357,11 +453,28 @@ class Session:
         given the artifact is also written to disk (checksummed npz).
         """
         if self._trainer is None:
-            raise RuntimeError("call train() before export()")
+            raise SessionStateError(
+                "this session has no trained model to export: call "
+                "train(), or restore a checkpoint with restore() / "
+                "resume(), before export()")
         from .serve import export_servable
 
-        artifact = export_servable(self._trainer.workers[0].model,
-                                   self._trainer.partitioned)
+        trainer = self._trainer
+        model = trainer.workers[0].model
+        resume = trainer._resume
+        saved = None
+        if (self._result is None and resume is not None
+                and resume.best_state is not None):
+            # Restored-but-untrained session: export the checkpoint's
+            # best-validation weights — the same weights train() would
+            # have left on worker 0 — then put the resume state back.
+            saved = {k: v.copy() for k, v in model.state_dict().items()}
+            model.load_state_dict(resume.best_state)
+        try:
+            artifact = export_servable(model, trainer.partitioned)
+        finally:
+            if saved is not None:
+                model.load_state_dict(saved)
         if path is not None:
             artifact.save(path)
         return artifact
@@ -374,7 +487,10 @@ class Session:
         as during training.
         """
         if self._trainer is None:
-            raise RuntimeError("call train() before score()")
+            raise SessionStateError(
+                "this session has no trained model to serve: call "
+                "train(), or restore a checkpoint with restore() / "
+                "resume(), before score()")
         trainer = self._trainer
         config = trainer.config
         scorer = DistributedScorer(

@@ -1,0 +1,40 @@
+"""Typed checkpoint errors.
+
+Every failure mode of the durable-checkpoint subsystem surfaces as one
+of these (all subclasses of :class:`CheckpointError`, itself a
+``RuntimeError``), so callers can distinguish "nothing there" from
+"there, but damaged" from "there, but for a different run" without
+catching bare ``OSError`` / ``FileNotFoundError`` leaks.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(RuntimeError):
+    """Base class for every durable-checkpoint failure."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No usable checkpoint at the given location.
+
+    Raised when the directory does not exist, is not a repro
+    checkpoint directory (no manifest), or its manifest records no
+    completed snapshot yet.
+    """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint exists but cannot be trusted.
+
+    Raised when the manifest is unreadable, or when *every* snapshot it
+    records fails its checksum (a single torn newest snapshot rolls
+    back to the previous entry instead of raising).
+    """
+
+
+class CheckpointMismatchError(CheckpointError):
+    """The checkpoint is valid but belongs to a different run.
+
+    Raised when the workload fingerprint, framework or cluster size of
+    the checkpoint disagrees with what the caller is resuming into.
+    """

@@ -1,0 +1,112 @@
+"""Atomic persistence primitives: ``tmp + fsync + rename``.
+
+This module is the *only* sanctioned way for checkpoint and serving
+code to put bytes on disk (lint rule R110 flags persistence paths that
+bypass it; this file is the rule's exemption).  The write protocol is
+the classic crash-safe sequence:
+
+1. write the payload to a temporary file in the destination directory,
+2. flush and ``fsync`` the file so the bytes are durable,
+3. ``os.replace`` it over the destination (atomic on POSIX),
+4. ``fsync`` the directory so the rename itself is durable.
+
+A reader therefore never observes a half-written file at the final
+path: either the old content, or the complete new content.  Torn
+writes can only strand a ``*.tmp`` file, which no reader ever opens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from typing import Dict, Union, BinaryIO
+
+import numpy as np
+
+from ..nn.serialize import load_state_dict, save_state_dict
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex sha256 of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def fsync_dir(path: PathLike) -> None:
+    """``fsync`` a directory so a completed rename inside it is durable.
+
+    Best-effort on platforms/filesystems that refuse to open a
+    directory for reading — durability of the *payload* never depends
+    on this call, only durability of the rename across power loss.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> int:
+    """Atomically and durably write ``data`` to ``path``.
+
+    Returns the number of bytes written.  The temporary file lives in
+    the destination directory (same filesystem, so the rename is
+    atomic) under a ``.tmp`` suffix.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    fsync_dir(os.path.dirname(path) or ".")
+    return len(data)
+
+
+def atomic_write_text(path: PathLike, text: str) -> int:
+    """Atomically write a UTF-8 text file (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: PathLike, obj: object) -> int:
+    """Atomically write ``obj`` as indented JSON."""
+    return atomic_write_text(path, json.dumps(obj, indent=2) + "\n")
+
+
+def serialize_state(state: Dict[str, np.ndarray]) -> bytes:
+    """Encode an array state dict with the repro npz codec, in memory.
+
+    The returned bytes are exactly what :func:`atomic_save_state_dict`
+    puts on disk, so callers can checksum the payload before (and
+    independently of) writing it.
+    """
+    buffer = io.BytesIO()
+    save_state_dict(state, buffer)
+    return buffer.getvalue()
+
+
+def deserialize_state(data: bytes) -> Dict[str, np.ndarray]:
+    """Decode :func:`serialize_state` output back into an array dict."""
+    return load_state_dict(io.BytesIO(data))
+
+
+def atomic_save_state_dict(state: Dict[str, np.ndarray],
+                           path: Union[PathLike, BinaryIO]) -> int:
+    """Atomically persist an array state dict (npz codec).
+
+    ``path`` may also be a writable binary file object, in which case
+    the payload is streamed to it directly (the caller owns atomicity
+    of whatever that object backs — e.g. an in-memory buffer).
+    """
+    data = serialize_state(state)
+    if hasattr(path, "write"):
+        path.write(data)
+        return len(data)
+    return atomic_write_bytes(path, data)

@@ -174,7 +174,7 @@ def build_trainer(
     # for any remote neighborhoods.  All other regimes train on what
     # each worker locally stores.
     positive_mode = "owned_cover" if spec.remote == "full" else "local"
-    return DistributedTrainer(
+    trainer = DistributedTrainer(
         framework=spec.name,
         split=split,
         partitioned=partitioned,
@@ -185,6 +185,11 @@ def build_trainer(
         positive_mode=positive_mode,
         observer=observer,
     )
+    # Recorded in durable checkpoints (repro.checkpoint) so resume can
+    # rebuild this exact cluster from the stored config alone.
+    trainer.build_knobs = {"alpha": float(alpha),
+                           "sparsifier_kind": str(sparsifier_kind)}
+    return trainer
 
 
 def run_framework(

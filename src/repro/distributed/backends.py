@@ -231,6 +231,14 @@ class ExecutionBackend:
         run against an actual death."""
         raise NotImplementedError
 
+    def snapshot_workers(self, epoch: int,
+                         rnd: int) -> List[Optional[bytes]]:
+        """Serialize every worker's state (model + optimizer + RNG)
+        wherever it lives, for the durable session checkpoint
+        (:mod:`repro.checkpoint`).  ``None`` for workers removed by
+        elastic recovery."""
+        raise NotImplementedError
+
 
 def make_backend(name: str, num_workers: int):
     """Build the named backend, degrading when it cannot help.
@@ -420,6 +428,18 @@ class SerialBackend(ExecutionBackend):
     def inject_crash(self, worker: int) -> None:
         """In-process crashes are simulated by the fault controller
         (state wipe + optional restore); nothing to kill here."""
+
+    def snapshot_workers(self, epoch: int,
+                         rnd: int) -> List[Optional[bytes]]:
+        """Serialize the in-process worker objects directly."""
+        from ..faults.snapshot import snapshot_worker
+        out: List[Optional[bytes]] = []
+        for i, worker in enumerate(self.trainer.workers):
+            if i in self._dead:
+                out.append(None)
+                continue
+            out.append(snapshot_worker(worker, epoch, rnd).payload)
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -969,6 +989,27 @@ class ProcessBackend(ExecutionBackend):
             self._cmd_log[i] = []
             self._count("checkpoint_bytes", len(payload))
         self._count("checkpoints")
+
+    def snapshot_workers(self, epoch: int,
+                         rnd: int) -> List[Optional[bytes]]:
+        """Pull a serialized state payload from every active child.
+
+        Unlike :meth:`_take_snapshots` (the restore-policy recovery
+        point) this leaves the replay logs untouched — it observes the
+        children without changing any recovery behavior."""
+        out: List[Optional[bytes]] = [None] * self.num_workers
+        for i in self._active():
+            msg = ("snapshot", self._epoch_index)
+            self._send(i, msg, "snapshot")
+            if i in self._dead:
+                continue
+            reply = self._recv(i, msg, "snapshot")
+            if reply is None:
+                continue
+            tag, payload = reply
+            assert tag == "snapshot"
+            out[i] = payload
+        return out
 
     def all_exhausted(self) -> bool:
         """True once every child reported an empty iterator."""

@@ -20,6 +20,10 @@ weights with the best validation Hits@K are the ones tested.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -45,6 +49,27 @@ from ..sampling.neighbor import NeighborSampler
 from .comm import FEATURE_ITEMSIZE, GB, CommMeter, CommRecord
 from .sync import ParameterServer, SyncPlan, broadcast_model
 from .views import WorkerGraphView
+
+#: Test/chaos instrumentation: a callable invoked parent-side at the
+#: top of every round with ``(trainer, epoch, round)`` before any work
+#: is dispatched.  The kill-driver harness uses it to SIGKILL the
+#: coordinator at an exact seeded point; ``None`` (the default) costs
+#: one comparison per round.
+_ROUND_HOOK = None
+
+#: Serializes hook swaps: harnesses may install/clear hooks from a
+#: different thread than the coordinator loop reading them.
+_ROUND_HOOK_LOCK = threading.Lock()
+
+
+def set_round_hook(hook):
+    """Install the round hook (``None`` clears it); returns the
+    previous hook so callers can restore it."""
+    global _ROUND_HOOK
+    with _ROUND_HOOK_LOCK:
+        previous = _ROUND_HOOK
+        _ROUND_HOOK = hook
+    return previous
 
 
 @dataclass
@@ -149,6 +174,12 @@ class TrainConfig:
     # When set it must match the cluster size at build time; it exists
     # so a fully self-describing config can be validated up front.
     num_workers: int = 0
+    # Durable session checkpoints (repro.checkpoint): directory the
+    # trainer writes atomic, checksummed full-session snapshots into,
+    # every checkpoint_every epochs.  None disables durable
+    # checkpointing (the restore recovery policy's in-memory/child
+    # snapshots are independent of this knob).
+    checkpoint_dir: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -235,6 +266,12 @@ class TrainConfig:
                 "FaultPlan.from_probability")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir = os.fspath(self.checkpoint_dir)
+            if self.checkpoint_every < 1:
+                raise ValueError(
+                    "checkpoint_dir needs checkpoint_every >= 1 "
+                    "(epochs between durable session snapshots)")
         if (self.recovery == "restore" and self.backend == "process"
                 and self.checkpoint_every < 1):
             raise ValueError(
@@ -310,6 +347,43 @@ class TrainResult:
     def val_curve(self) -> List[float]:
         """Validation Hits@K at each evaluated epoch, in order."""
         return [s.val.hits for s in self.history if s.val is not None]
+
+    def digest(self) -> str:
+        """Canonical sha256 over the run's observable outcome.
+
+        Covers accuracy, the full epoch history, communication
+        ledgers, fault counters and sync telemetry; floats are hashed
+        via ``float.hex`` so the digest is exact (not print-rounded)
+        and NaN losses hash stably.  Two runs with equal digests
+        produced bit-identical training trajectories — this is the
+        invariant the checkpoint/resume and cross-backend tests gate
+        on.  ``report`` (the obs artifact) is excluded: it is derived
+        from the same counters and only exists for observed runs.
+        """
+        def _f(x: float) -> str:
+            return float(x).hex()
+
+        payload = {
+            "framework": self.framework,
+            "num_workers": self.num_workers,
+            "best_epoch": self.best_epoch,
+            "test": [_f(self.test.hits), _f(self.test.auc),
+                     int(self.test.k)],
+            "comm_total": self.comm_total.to_dict(),
+            "dropped": self.dropped_contributions,
+            "faults": {k: _f(v)
+                       for k, v in sorted(self.faults.items())},
+            "sync_stats": {k: _f(v) if isinstance(v, float) else v
+                           for k, v in sorted(self.sync_stats.items())},
+            "history": [
+                [s.epoch, _f(s.mean_loss), s.comm.to_dict(), s.rounds,
+                 s.mfg_edges,
+                 ([_f(s.val.hits), _f(s.val.auc), int(s.val.k)]
+                  if s.val is not None else None)]
+                for s in self.history],
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
 
     def summary(self) -> str:
         """Human-readable report of the run (accuracy + comm ledger)."""
@@ -501,6 +575,16 @@ class DistributedTrainer:
         #: Set by ``_train_loop``; backends consult it for fault
         #: counters and elastic liveness during recovery.
         self.fault_controller = None
+        #: Build-time knobs that live outside TrainConfig (alpha,
+        #: sparsifier choice); recorded in durable checkpoints so
+        #: resume can rebuild the identical cluster.  build_trainer
+        #: overwrites this with its actual arguments.
+        self.build_knobs = {"alpha": 0.15,
+                            "sparsifier_kind": "approx_er"}
+        #: Loop state loaded by repro.checkpoint.restore_trainer;
+        #: consumed (and cleared) by ``_train_loop`` to continue a
+        #: previous run at ``epoch + 1``.
+        self._resume = None
         self.meters = [CommMeter() for _ in range(partitioned.num_parts)]
         # Vertex-cut replica averaging: every sync event a worker ships
         # the hidden state of each mirrored node to its master and gets
@@ -668,7 +752,32 @@ class DistributedTrainer:
         self.fault_controller = faults
         evals_since_best = 0
 
-        for epoch in range(config.epochs):
+        ckpt_store = None
+        if config.checkpoint_dir is not None:
+            from ..checkpoint.store import CheckpointStore
+            ckpt_store = CheckpointStore(config.checkpoint_dir)
+
+        start_epoch = 0
+        resume = self._resume
+        if resume is not None:
+            # Continue a restored run: re-enter the loop exactly where
+            # the checkpoint left off.  Worker/evaluator/server state
+            # was already loaded by repro.checkpoint.restore_trainer;
+            # here we rebuild the loop locals and replay permanent
+            # worker removals into the fresh backend + controller.
+            self._resume = None
+            start_epoch = resume.epoch + 1
+            history = list(resume.history)
+            best_val = resume.best_val
+            best_state = resume.best_state
+            best_epoch = resume.best_epoch
+            evals_since_best = resume.evals_since_best
+            resume.apply_faults(faults)
+            for i, alive in enumerate(faults.live):
+                if not alive:
+                    backend.deactivate(i)
+
+        for epoch in range(start_epoch, config.epochs):
             epoch_cm = (obs.span("epoch", epoch=epoch)
                         if obs is not None else nullcontext())
             epoch_started = obs.tracer.now_s if obs is not None else 0.0
@@ -684,6 +793,8 @@ class DistributedTrainer:
                     round_cm = (obs.span("round", index=epoch_rounds)
                                 if obs is not None else nullcontext())
                     with round_cm:
+                        if _ROUND_HOOK is not None:
+                            _ROUND_HOOK(self, epoch, epoch_rounds)
                         has_batch = backend.poll_batches()
                         decision = faults.plan_round(epoch, epoch_rounds,
                                                      has_batch)
@@ -828,6 +939,15 @@ class DistributedTrainer:
                 backend.scale_lr(config.lr_decay)
                 if self.parameter_server is not None:
                     self.parameter_server.optimizer.lr *= config.lr_decay
+            if ckpt_store is not None and (
+                    (epoch + 1) % config.checkpoint_every == 0
+                    or epoch == config.epochs - 1):
+                # After the lr decay so the snapshot holds the decayed
+                # rate; a patience break above skips the write, so
+                # resume re-evaluates (and re-takes) the break.
+                self._write_checkpoint(
+                    ckpt_store, epoch, epoch_rounds, history, best_val,
+                    best_state, best_epoch, evals_since_best, faults)
 
         if best_state is not None:
             models[0].load_state_dict(best_state)
@@ -862,6 +982,27 @@ class DistributedTrainer:
         if obs is not None:
             result.report = build_run_report(obs, result)
         return result
+
+    # ------------------------------------------------------------------
+
+    def _write_checkpoint(self, store, epoch: int, rnd: int, history,
+                          best_val: float, best_state, best_epoch: int,
+                          evals_since_best: int, faults) -> None:
+        """Capture the full session state and durably persist it."""
+        from ..checkpoint.state import capture_trainer_state
+        obs = self.observer
+        cm = (obs.span("checkpoint.write", epoch=epoch)
+              if obs is not None else nullcontext())
+        with cm:
+            state = capture_trainer_state(
+                self, epoch=epoch, rnd=rnd, history=history,
+                best_val=best_val, best_state=best_state,
+                best_epoch=best_epoch,
+                evals_since_best=evals_since_best, faults=faults)
+            info = store.write(state, epoch, rnd)
+        if obs is not None:
+            obs.counter("checkpoint.writes").inc(1)
+            obs.counter("checkpoint.bytes_written").inc(info.nbytes)
 
     # ------------------------------------------------------------------
 

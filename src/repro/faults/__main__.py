@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload + plan seed (default 23)")
     chaos.add_argument("--no-observe", action="store_true",
                        help="skip RunReport assertions (faster)")
+    chaos.add_argument("--kill-driver", action="store_true",
+                       help="SIGKILL the coordinator subprocess at a "
+                            "seeded point and assert the resumed run "
+                            "is bit-identical (repro.faults.killdriver)")
 
     sub.add_parser("plans", help="print the built-in fault plans")
     return parser
@@ -60,6 +64,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, plan in sorted(builtin_plans().items()):
             print(f"== {name} ==")
             print(plan.describe())
+        return 0
+    if args.kill_driver:
+        from .killdriver import KillDriverError, run_kill_driver
+        try:
+            run_kill_driver(smoke=args.smoke,
+                            backends=tuple(args.backends),
+                            workers=args.workers,
+                            epochs=max(args.epochs, 2), seed=args.seed)
+        except KillDriverError as err:
+            print(err, file=sys.stderr)
+            return 1
         return 0
     try:
         run_chaos(smoke=args.smoke, backends=tuple(args.backends),

@@ -84,12 +84,16 @@ class ChaosCase:
     backend: str
     recovery: str
     sync: str = "model"
+    #: Training framework the cell runs — the sweep rotates
+    #: ``vertex_cut`` in so edge-partitioned training (replica
+    #: averaging, zero feature traffic) faces faults too.
+    framework: str = "splpg"
 
     @property
     def name(self) -> str:
-        """Stable ``plan/backend/recovery/sync`` case label."""
+        """Stable ``plan/backend/recovery/sync/framework`` label."""
         return (f"{self.plan_name}/{self.backend}/{self.recovery}"
-                f"/{self.sync}")
+                f"/{self.sync}/{self.framework}")
 
 
 @dataclass
@@ -141,7 +145,7 @@ def _compatible_recovery(recovery: str, sync: str) -> str:
 
 def _run_case(split, plan: Optional[FaultPlan], backend: str,
               recovery: str, sync: str, *, workers: int, epochs: int,
-              seed: int, observe: bool):
+              seed: int, observe: bool, framework: str = "splpg"):
     from ..core.frameworks import run_framework
     from ..distributed import TrainConfig
 
@@ -150,7 +154,7 @@ def _run_case(split, plan: Optional[FaultPlan], backend: str,
                          sync=sync, backend=backend, observe=observe,
                          fault_plan=plan, recovery=recovery,
                          fault_timeout_s=15.0, retry_backoff_s=0.05)
-    return run_framework("splpg", split, workers, config,
+    return run_framework(framework, split, workers, config,
                          rng=np.random.default_rng(seed))
 
 
@@ -176,6 +180,34 @@ def _check(case: ChaosCase, result, baseline, epochs: int, wall_s: float,
             f"final AUC {result.test.auc:.3f} drifted more than "
             f"{tolerance} from the fault-free twin "
             f"{baseline.test.auc:.3f}")
+    from ..core.frameworks import FRAMEWORKS
+    from ..partition import get_partitioner
+
+    strategy = FRAMEWORKS[case.framework].partition_strategy
+    if get_partitioner(strategy).edge_partitioned:
+        # Edge-partitioned training must keep its communication shape
+        # under faults: zero training-time feature fetches, a non-zero
+        # replica-averaging ledger — and with a lossless recovery
+        # policy (and no permanent removals) the ledger must equal the
+        # fault-free twin's byte for byte.
+        if result.comm_total.feature_bytes != 0:
+            violations.append(
+                f"{case.framework} moved "
+                f"{result.comm_total.feature_bytes} "
+                "feature bytes under faults (must stay 0)")
+        replica = result.sync_stats.get("replica_sync_bytes", 0)
+        if replica <= 0:
+            violations.append(
+                f"{case.framework} recorded no replica_sync_bytes: "
+                "mirror reconciliation did not run")
+        if (case.recovery in ("retry", "restore")
+                and "elastic_removed" not in result.faults):
+            twin = baseline.sync_stats.get("replica_sync_bytes", 0)
+            if replica != twin:
+                violations.append(
+                    f"replica_sync_bytes {replica} != fault-free twin "
+                    f"{twin} under lossless recovery "
+                    f"'{case.recovery}'")
     if not case.plan.is_empty():
         if not result.faults:
             violations.append("non-empty plan left an empty "
@@ -206,6 +238,7 @@ def run_chaos(
     backends: Sequence[str] = ("serial", "thread", "process"),
     recoveries: Optional[Sequence[str]] = None,
     syncs: Sequence[str] = ("model", "ps", "async", "local_sgd"),
+    frameworks: Sequence[str] = ("splpg", "vertex_cut"),
     workers: int = 3,
     epochs: int = 2,
     seed: int = 23,
@@ -217,12 +250,14 @@ def run_chaos(
     invariants.
 
     ``smoke`` selects the CI subset: every plan on every backend, one
-    recovery policy and one sync mode per cell chosen round-robin so
-    all four policies and all four sync families still execute.
-    ``restore`` cells landing on a barrier-free sync mode fall back to
-    ``retry`` (see :func:`_compatible_recovery`).  Returns one
-    :class:`ChaosOutcome` per case; raises :class:`ChaosError` if any
-    case violated an invariant.
+    recovery policy, one sync mode and one framework per cell chosen
+    round-robin so all four policies, all four sync families and both
+    partition families (node-partitioned ``splpg``, edge-partitioned
+    ``vertex_cut``) still execute.  ``restore`` cells landing on a
+    barrier-free sync mode fall back to ``retry`` (see
+    :func:`_compatible_recovery`).  Returns one :class:`ChaosOutcome`
+    per case; raises :class:`ChaosError` if any case violated an
+    invariant.
     """
     from ..distributed.backends import BACKEND_NAMES
 
@@ -239,38 +274,46 @@ def run_chaos(
 
     cases: List[ChaosCase] = []
     if smoke:
-        # One policy and one sync mode per (plan, backend) cell,
-        # rotating at coprime strides so the smoke sweep still
-        # exercises every recovery policy and every sync family.
+        # One policy, one sync mode and one framework per
+        # (plan, backend) cell, rotating at coprime strides so the
+        # smoke sweep still exercises every recovery policy, every
+        # sync family and both partition families (rotation 1 lands
+        # vertex_cut on the lossless ``retry`` policy, so the
+        # replica-ledger equality assertion runs in CI).
         rotation = 0
         for plan_name, plan in sorted(plans.items()):
             for backend in backends:
                 recovery = recoveries[rotation % len(recoveries)]
                 sync = syncs[(rotation + rotation // len(syncs))
                              % len(syncs)]
+                framework = frameworks[rotation % len(frameworks)]
                 rotation += 1
                 cases.append(ChaosCase(
                     plan_name, plan, backend,
-                    _compatible_recovery(recovery, sync), sync))
+                    _compatible_recovery(recovery, sync), sync,
+                    framework))
     else:
         for plan_name, plan in sorted(plans.items()):
             for backend in backends:
                 for recovery in recoveries:
                     for sync in syncs:
-                        cases.append(ChaosCase(
-                            plan_name, plan, backend,
-                            _compatible_recovery(recovery, sync), sync))
+                        for framework in frameworks:
+                            cases.append(ChaosCase(
+                                plan_name, plan, backend,
+                                _compatible_recovery(recovery, sync),
+                                sync, framework))
 
-    # Fault-free twins, one per (backend, sync) the sweep actually
-    # visits: the comparison target and the empty-plan bit-identity
-    # anchor.
-    baselines: Dict[Tuple[str, str], object] = {}
+    # Fault-free twins, one per (backend, sync, framework) the sweep
+    # actually visits: the comparison target and the empty-plan
+    # bit-identity anchor.
+    baselines: Dict[Tuple[str, str, str], object] = {}
     for case in cases:
-        key = (case.backend, case.sync)
+        key = (case.backend, case.sync, case.framework)
         if key not in baselines:
             baselines[key] = _run_case(
                 split, FaultPlan.empty(), case.backend, "drop", case.sync,
-                workers=workers, epochs=epochs, seed=seed, observe=False)
+                workers=workers, epochs=epochs, seed=seed, observe=False,
+                framework=case.framework)
 
     outcomes: List[ChaosOutcome] = []
     for case in cases:
@@ -278,7 +321,8 @@ def run_chaos(
         try:
             result = _run_case(split, case.plan, case.backend,
                                case.recovery, case.sync, workers=workers,
-                               epochs=epochs, seed=seed, observe=observe)
+                               epochs=epochs, seed=seed, observe=observe,
+                               framework=case.framework)
         except Exception as exc:  # noqa: BLE001 - harness boundary
             outcome = ChaosOutcome(
                 case=case, ok=False,
@@ -289,7 +333,8 @@ def run_chaos(
                 print(outcome.describe())
             continue
         outcome = _check(case, result,
-                         baselines[(case.backend, case.sync)], epochs,
+                         baselines[(case.backend, case.sync,
+                                    case.framework)], epochs,
                          time.perf_counter() - started, tolerance, observe)
         outcomes.append(outcome)
         if verbose:

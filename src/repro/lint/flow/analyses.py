@@ -431,15 +431,27 @@ def _escaped_names(func_node) -> Set[str]:
 
 
 def _release_predicate(var: str, releases: Set[str]):
-    """Predicate: CFG nodes that release local resource ``var``."""
+    """Predicate: CFG nodes that release local resource ``var``.
+
+    Both release spellings count: the method form ``var.close()`` and
+    the module-function form ``os.close(var)`` / ``close(var)`` used
+    for raw file descriptors, which have no methods to call.
+    """
 
     def pred(node: Node) -> bool:
         for sub in node.match_nodes():
-            if isinstance(sub, ast.Call) and \
-                    isinstance(sub.func, ast.Attribute) and \
+            if not isinstance(sub, ast.Call):
+                continue
+            if isinstance(sub.func, ast.Attribute) and \
                     sub.func.attr in releases and \
                     isinstance(sub.func.value, ast.Name) and \
                     sub.func.value.id == var:
+                return True
+            callee = call_name(sub)
+            if callee is not None and \
+                    callee.split(".")[-1] in releases and \
+                    any(isinstance(a, ast.Name) and a.id == var
+                        for a in sub.args):
                 return True
         return False
 

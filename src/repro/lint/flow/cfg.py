@@ -36,18 +36,28 @@ from typing import Callable, Iterable, List, Optional, Set
 class Node:
     """One CFG node: a statement, or a virtual entry/exit marker."""
 
-    __slots__ = ("stmt", "succs", "kind")
+    __slots__ = ("stmt", "succs", "exc_succs", "kind")
 
     def __init__(self, stmt: Optional[ast.stmt], kind: str = "stmt"
                  ) -> None:
         self.stmt = stmt
         self.kind = kind
         self.succs: List["Node"] = []
+        #: Exception edges: taken only when this statement itself
+        #: raises (into a handler).  Kept separate so path queries can
+        #: reason about whether a statement *completed* — e.g. a
+        #: resource acquisition that raises never produced a resource.
+        self.exc_succs: List["Node"] = []
 
     def link(self, other: "Node") -> None:
         """Add an edge to ``other`` (duplicates collapsed)."""
         if other not in self.succs:
             self.succs.append(other)
+
+    def link_exc(self, other: "Node") -> None:
+        """Add an exception edge to ``other`` (duplicates collapsed)."""
+        if other not in self.exc_succs:
+            self.exc_succs.append(other)
 
     def match_nodes(self) -> Iterable[ast.AST]:
         """AST nodes this CFG node *owns* (headers only for compounds)."""
@@ -116,7 +126,10 @@ class CFG:
 
         ``start`` itself is not tested against ``avoid``; intermediate
         nodes are, and ``target`` is reached the moment an edge lands
-        on it.
+        on it.  ``start``'s own exception edges are not followed: the
+        query asks what can happen *after* ``start`` completes, and a
+        statement that raised never completed (a resource acquisition
+        that raises produced nothing to leak).
         """
         seen: Set[int] = set()
         stack = [start]
@@ -125,7 +138,9 @@ class CFG:
             if id(node) in seen:
                 continue
             seen.add(id(node))
-            for succ in node.succs:
+            succs = (node.succs if node is start
+                     else node.succs + node.exc_succs)
+            for succ in succs:
                 if succ is target:
                     return True
                 if avoid(succ):
@@ -238,7 +253,7 @@ class _Builder:
             handler_ends.extend(self.build_body(handler.body, [hnode]))
         for raiser in ctx.raisers:
             for hentry in handler_entries:
-                raiser.link(hentry)
+                raiser.link_exc(hentry)
 
         else_ends = (self.build_body(stmt.orelse, body_ends)
                      if stmt.orelse else body_ends)

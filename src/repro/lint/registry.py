@@ -51,6 +51,7 @@ def _load_builtin_rules() -> None:
         rules_hygiene,
         rules_locality,
         rules_partition,
+        rules_persistence,
         rules_robustness,
         rules_serving,
     )

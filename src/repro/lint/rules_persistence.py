@@ -1,0 +1,110 @@
+"""Persistence-path rules: durable writes must be atomic.
+
+Checkpoint and serving artifacts are the repo's crash-safety surface:
+a coordinator can die between any two syscalls, and a torn manifest or
+half-written snapshot must never be mistaken for a durable one.  The
+sanctioned way to persist in those paths is :mod:`repro.checkpoint.io`
+(tmp-file + fsync + ``os.replace`` + directory fsync); writing through
+a bare ``open(..., "w")`` or ``np.save`` reintroduces exactly the torn
+states the checkpoint store exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .astutils import call_name, is_numpy_alias
+from .registry import Rule, register
+
+#: Module paths the rule guards (posix-style, rooted at ``repro``).
+_PERSISTENCE_PREFIXES = ("repro/checkpoint/", "repro/serve/")
+
+#: The one module allowed to perform raw writes: it *implements* the
+#: atomic-write discipline everything else must go through.
+_EXEMPT = "repro/checkpoint/io.py"
+
+#: numpy persistence entry points (matched against ``alias.name``).
+_NUMPY_SAVERS = {"save", "savez", "savez_compressed"}
+
+#: Serializer entry points that write straight to a path; callers in
+#: persistence paths must use ``atomic_save_state_dict`` instead.
+_RAW_SAVERS = {"save_state_dict", "save_model"}
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The write/append/create mode string of an ``open`` call, if any.
+
+    Returns ``None`` for read-mode opens, keyword-less defaults, and
+    modes that are not static string constants (those stay un-flagged:
+    the rule is a tripwire, not a dataflow analysis).
+    """
+    mode_node: Optional[ast.AST] = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if (isinstance(mode_node, ast.Constant)
+            and isinstance(mode_node.value, str)
+            and any(ch in mode_node.value for ch in "wax+")):
+        return mode_node.value
+    return None
+
+
+@register
+class AtomicPersistenceRule(Rule):
+    """R110: non-atomic writes in checkpoint/serve persistence paths.
+
+    Flags ``open`` in a write/append/create mode, ``np.save`` /
+    ``np.savez`` / ``np.savez_compressed``, and direct
+    ``save_state_dict`` / ``save_model`` calls inside
+    ``repro/checkpoint/`` and ``repro/serve/``.  All of these leave a
+    torn file behind when the process dies mid-write; route them
+    through :mod:`repro.checkpoint.io` (which is the rule's sanctioned
+    exemption).
+    """
+
+    rule_id = "R110"
+    name = "non-atomic-persistence"
+    description = ("direct file write in a persistence path; use "
+                   "repro.checkpoint.io atomic helpers")
+
+    def applies_to(self, modpath: str) -> bool:
+        """Only checkpoint/serve modules, minus the atomic-io module."""
+        if modpath == _EXEMPT:
+            return False
+        return modpath.startswith(_PERSISTENCE_PREFIXES)
+
+    def check(self, tree: ast.AST, modpath: str) -> Iterable:
+        """Yield findings for one parsed module."""
+        from .engine import Finding
+
+        findings: List[Finding] = []
+
+        def _flag(node: ast.Call, what: str, fix: str) -> None:
+            """Record one non-atomic write site."""
+            findings.append(Finding(
+                rule_id=self.rule_id, path=modpath,
+                line=node.lineno, col=node.col_offset,
+                message=(f"{what} is not crash-atomic in a persistence "
+                         f"path; use {fix} from repro.checkpoint.io")))
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name == "open":
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    _flag(node, f"open(..., {mode!r})",
+                          "atomic_write_bytes/atomic_write_json")
+                continue
+            head, _, tail = name.rpartition(".")
+            if head and is_numpy_alias(head) and tail in _NUMPY_SAVERS:
+                _flag(node, f"{name}()", "atomic_save_state_dict")
+            elif tail in _RAW_SAVERS:
+                _flag(node, f"{name}()", "atomic_save_state_dict")
+        return findings

@@ -38,10 +38,10 @@ from ..nn.models import (
     MLPPredictor,
 )
 from ..nn.module import Module
+from ..checkpoint.io import atomic_save_state_dict
 from ..nn.serialize import (
     load_state_dict,
     model_fingerprint,
-    save_state_dict,
     state_fingerprint,
 )
 from ..partition.partitioned import PartitionedGraph
@@ -104,12 +104,13 @@ class ServableArtifact:
     # -- persistence ----------------------------------------------------
 
     def save(self, path) -> str:
-        """Write the artifact (npz via :mod:`repro.nn.serialize`);
-        returns the embedded checksum."""
+        """Write the artifact (npz via :mod:`repro.nn.serialize`,
+        crash-atomically via :mod:`repro.checkpoint.io`); returns the
+        embedded checksum."""
         payload = self._payload()
         checksum = state_fingerprint(payload)
         payload["meta.checksum"] = np.array(checksum)
-        save_state_dict(payload, path)
+        atomic_save_state_dict(payload, path)
         return checksum
 
     @classmethod
