@@ -1,0 +1,224 @@
+"""Streaming benchmark: deterministic tick loop under churn.
+
+Replays a seeded :class:`~repro.stream.ArrivalPlan` through the
+:class:`~repro.stream.StreamDriver` on every serving backend under two
+regimes:
+
+* ``steady`` — default triggers: the graph drifts, embeddings refresh
+  by frontier recompute, and each candidate hot-swaps into the live
+  cluster (measures the common-case swap latency);
+* ``churn`` — a hair-trigger rebalance threshold plus an unreachable
+  AUC floor: every tick re-partitions (cold swap) and every candidate
+  is rolled back (measures the worst-case maintenance path).
+
+``events_per_s`` is arrival-plan events applied per real second —
+the incremental-maintenance throughput (shard patching, frontier
+re-embedding and serving included).  ``swap_p50_ms`` is the simulated
+latency from hot-swap activation to the first post-swap completion.
+Per mode, the report digest must be bit-identical across backends —
+the benchmark doubles as the streaming determinism check at realistic
+event volume.
+
+Emitted schema (``BENCH_stream.json``)::
+
+    {
+      "schema": "bench_stream/v1",
+      "config": {...stream knobs...},
+      "host": {"cpu_count": ..., "schedulable_cpus": ...},
+      "results": [
+        {"mode": "steady", "backend": "serial", "wall_s": 1.2,
+         "ticks": 6, "events": 54, "events_per_s": 45.0,
+         "requests": 144, "completed": 141, "rebalances": 0,
+         "swaps": 5, "rollbacks": 0, "reembed_rows": 310,
+         "swap_p50_ms": 0.2, "stream_mbytes": 0.4,
+         "digest": "..."},
+        ...
+      ]
+    }
+
+Run via ``scripts/bench.py --suite stream`` (``--smoke`` for the
+CI-sized variant).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graph import synthetic_lp_graph
+from repro.nn.models import build_model
+from repro.partition.registry import PartitionSpec
+from repro.stream import StreamConfig, StreamDriver
+
+SCHEMA = "bench_stream/v1"
+
+#: Full-size run: enough churn that frontier re-embedding, shard
+#: patching, rebalancing and hot swaps all engage repeatedly.
+FULL = dict(num_nodes=400, target_edges=1600, feature_dim=24,
+            hidden_dim=24, num_layers=2, num_parts=3, ticks=6,
+            inserts_per_tick=12.0, deletes_per_tick=4.0,
+            drifts_per_tick=4.0, requests_per_tick=36,
+            embed_batch=64, max_batch=6, seed=0)
+
+#: CI-sized run: the whole sweep finishes in a few seconds.
+SMOKE = dict(num_nodes=90, target_edges=300, feature_dim=12,
+             hidden_dim=12, num_layers=2, num_parts=3, ticks=3,
+             inserts_per_tick=5.0, deletes_per_tick=1.0,
+             drifts_per_tick=2.0, requests_per_tick=12,
+             embed_batch=32, max_batch=4, seed=0)
+
+MODES = ("steady", "churn")
+
+
+def _stream_config(mode: str, params: Dict) -> StreamConfig:
+    """The :class:`StreamConfig` for one benchmark regime."""
+    base = dict(
+        ticks=params["ticks"], seed=params["seed"],
+        inserts_per_tick=params["inserts_per_tick"],
+        deletes_per_tick=params["deletes_per_tick"],
+        drifts_per_tick=params["drifts_per_tick"],
+        requests_per_tick=params["requests_per_tick"],
+        embed_batch=params["embed_batch"],
+        max_batch=params["max_batch"])
+    if mode == "churn":
+        base.update(rebalance_threshold=1.01, auc_floor=1.5)
+    return StreamConfig(**base)
+
+
+def _fixture(params: Dict):
+    """Seeded (model, graph, spec) shared by every cell of the sweep."""
+    rng = np.random.default_rng(params["seed"])
+    graph = synthetic_lp_graph(
+        num_nodes=params["num_nodes"],
+        target_edges=params["target_edges"],
+        feature_dim=params["feature_dim"], num_communities=6, rng=rng)
+    model = build_model("sage", params["feature_dim"],
+                        hidden_dim=params["hidden_dim"],
+                        num_layers=params["num_layers"],
+                        seed=params["seed"])
+    return model, graph, PartitionSpec("metis", mirror=True)
+
+
+def run_bench(
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    params: Optional[Dict] = None,
+    modes: Sequence[str] = MODES,
+) -> Dict:
+    """Run the sweep and return the ``bench_stream/v1`` document.
+
+    Every (mode, backend) cell replays the *same* seeded arrival plan
+    and workload; the report digest must agree across backends within
+    a mode.
+    """
+    params = dict(FULL if params is None else params)
+    results: List[Dict] = []
+    for mode in modes:
+        for backend in backends:
+            model, graph, spec = _fixture(params)
+            driver = StreamDriver(model, graph, spec,
+                                  params["num_parts"],
+                                  _stream_config(mode, params),
+                                  backend=backend)
+            started = time.perf_counter()
+            report = driver.run()
+            wall = time.perf_counter() - started
+            swap_lat = sorted(r.swap_latency_s for r in report.records
+                              if r.swapped)
+            stream_bytes = (report.comm["stream_feature_bytes"]
+                            + report.comm["stream_structure_bytes"]
+                            + report.comm["stream_sync_bytes"])
+            results.append({
+                "mode": mode,
+                "backend": backend,
+                "wall_s": round(wall, 4),
+                "ticks": len(report.records),
+                "events": report.counters["events"],
+                "events_per_s": round(
+                    report.counters["events"] / max(wall, 1e-9), 2),
+                "requests": report.counters["requests"],
+                "completed": report.counters["completed"],
+                "rebalances": report.counters["rebalances"],
+                "swaps": report.counters["swaps"],
+                "rollbacks": report.counters["rollbacks"],
+                "reembed_rows": report.counters["reembed_rows"],
+                "swap_p50_ms": round(
+                    swap_lat[len(swap_lat) // 2] * 1e3, 4)
+                if swap_lat else None,
+                "stream_mbytes": round(stream_bytes / 1e6, 4),
+                "digest": report.digest(),
+            })
+    return {
+        "schema": SCHEMA,
+        "config": {**params, "backends": list(backends),
+                   "modes": list(modes)},
+        "host": _host_info(),
+        "results": results,
+    }
+
+
+def _host_info() -> Dict:
+    """CPU topology the sweep ran on (wall_s context only — the
+    simulated streaming metrics are host-independent)."""
+    try:
+        schedulable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        schedulable = os.cpu_count() or 1
+    return {"cpu_count": os.cpu_count() or 1,
+            "schedulable_cpus": schedulable}
+
+
+def validate_document(doc: Dict) -> List[str]:
+    """Schema + determinism check for a ``bench_stream/v1`` document.
+
+    Beyond field presence, enforces the core contracts: within each
+    mode every backend produced the same digest, the ``churn`` rows
+    actually rebalanced and rolled back, and the ``steady`` rows
+    actually hot-swapped.
+    """
+    problems: List[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be a dict")
+    host = doc.get("host")
+    if (not isinstance(host, dict)
+            or not isinstance(host.get("schedulable_cpus"), int)):
+        problems.append("host.schedulable_cpus missing")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        problems.append("results must be a non-empty list")
+        return problems
+    for i, row in enumerate(rows):
+        for key, kinds in (("mode", str), ("backend", str),
+                           ("wall_s", (int, float)), ("ticks", int),
+                           ("events", int),
+                           ("events_per_s", (int, float)),
+                           ("requests", int), ("completed", int),
+                           ("rebalances", int), ("swaps", int),
+                           ("rollbacks", int), ("reembed_rows", int),
+                           ("stream_mbytes", (int, float)),
+                           ("digest", str)):
+            if not isinstance(row.get(key), kinds):
+                problems.append(f"results[{i}].{key} missing or wrong type")
+    for mode in {r.get("mode") for r in rows if isinstance(r, dict)}:
+        digests = {r["backend"]: r.get("digest") for r in rows
+                   if isinstance(r, dict) and r.get("mode") == mode}
+        if len(set(digests.values())) > 1:
+            problems.append(
+                f"stream digests diverged across backends in mode "
+                f"{mode!r}: {digests}")
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        if row.get("mode") == "churn" and (row.get("rebalances") == 0
+                                           or row.get("rollbacks") == 0):
+            problems.append(
+                f"churn row ({row.get('backend')}) fired no "
+                "rebalance/rollback — triggers are dead")
+        if row.get("mode") == "steady" and row.get("swaps") == 0:
+            problems.append(
+                f"steady row ({row.get('backend')}) never hot-swapped")
+    return problems

@@ -27,6 +27,10 @@ Suites:
   checkpointed vs crash-resumed digests (all must be one value, also
   across backends), snapshot size and store write/read latency
   (writes ``BENCH_checkpoint.json``, schema ``bench_checkpoint/v1``).
+* ``stream`` — deterministic streaming tick loop: steady (hot swaps)
+  and churn (rebalances + rollbacks) regimes per backend with
+  cross-backend digest equality enforced (writes
+  ``BENCH_stream.json``, schema ``bench_stream/v1``).
 
 ``--smoke`` runs a miniature workload, validates the emitted document
 against the suite schema, and exits non-zero on any problem.
@@ -178,6 +182,33 @@ def _run_checkpoint(args) -> int:
     return _finish(doc, problems, args, "BENCH_checkpoint.json")
 
 
+def _run_stream(args) -> int:
+    """The streaming tick-loop sweep."""
+    from benchmarks.bench_stream import (
+        FULL as STREAM_FULL,
+        SMOKE as STREAM_SMOKE,
+        run_bench as run_stream_bench,
+        validate_document as validate_stream,
+    )
+
+    params = STREAM_SMOKE if args.smoke else STREAM_FULL
+    doc = run_stream_bench(params=params)
+    problems = validate_stream(doc)
+    print(f"host: {doc['host']['schedulable_cpus']} schedulable cpu(s)")
+    for row in doc["results"]:
+        swap = (f"{row['swap_p50_ms']:7.3f}ms"
+                if row["swap_p50_ms"] is not None else "      —")
+        print(f"{row['mode']:>7s}  {row['backend']:>8s}  "
+              f"wall={row['wall_s']:7.3f}s  "
+              f"ev/s={row['events_per_s']:8.1f}  "
+              f"rebal={row['rebalances']:2d}  "
+              f"swaps={row['swaps']:2d}  "
+              f"rollbacks={row['rollbacks']:2d}  "
+              f"swap_p50={swap}  "
+              f"comm={row['stream_mbytes']:7.3f}MB")
+    return _finish(doc, problems, args, "BENCH_stream.json")
+
+
 def _finish(doc, problems, args, default_name: str) -> int:
     """Report problems; persist the document for full runs."""
     if problems:
@@ -198,7 +229,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--suite",
                         choices=("backends", "serve", "sync", "partition",
-                                 "checkpoint"),
+                                 "checkpoint", "stream"),
                         default="backends",
                         help="benchmark suite to run (default: backends)")
     parser.add_argument("--smoke", action="store_true",
@@ -221,6 +252,8 @@ def main(argv=None) -> int:
         return _run_partition(args)
     if args.suite == "checkpoint":
         return _run_checkpoint(args)
+    if args.suite == "stream":
+        return _run_stream(args)
     return _run_backends(args)
 
 

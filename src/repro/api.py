@@ -59,6 +59,16 @@ class SessionStateError(RuntimeError):
     missing.
     """
 
+
+def _stream_model_spec(config: TrainConfig, feature_dim: int) -> dict:
+    """The :func:`repro.nn.models.build_model` kwargs for a trainer's
+    model — what :meth:`StreamDriver.resume` needs to rebuild it."""
+    return {"gnn_type": config.gnn_type, "in_dim": int(feature_dim),
+            "hidden_dim": config.hidden_dim,
+            "num_layers": config.num_layers,
+            "predictor": config.predictor, "dropout": config.dropout,
+            "num_heads": config.num_heads}
+
 #: TrainConfig fields an ExperimentScale preset provides defaults for.
 _SCALE_FIELDS = ("hidden_dim", "num_layers", "fanouts", "batch_size",
                  "epochs", "hits_k", "eval_every", "sync", "seed")
@@ -116,6 +126,7 @@ def run(
     alpha: float = 0.15,
     sparsifier_kind: str = "approx_er",
     resume: Optional[str] = None,
+    stream=None,
     **cfg,
 ) -> TrainResult:
     """Train a framework end to end and return its :class:`TrainResult`.
@@ -127,6 +138,12 @@ def run(
     engine (``serial`` | ``thread`` | ``process``), ``scale`` an
     optional :class:`~repro.experiments.config.ExperimentScale` or
     preset name, and ``**cfg`` any :class:`TrainConfig` override.
+
+    ``stream`` routes the trained model into the deterministic
+    streaming loop (:mod:`repro.stream`): pass a
+    :class:`~repro.stream.StreamConfig` (or its dict form) and the
+    call returns the :class:`~repro.stream.StreamReport` instead of
+    the train result (which rides along as ``report.train_result``).
 
     ``resume`` continues a previous run from the durable checkpoint
     directory it wrote (``checkpoint_dir=`` / ``Session.checkpoint``):
@@ -148,6 +165,26 @@ def run(
             f"(got {sources})")
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if stream is not None:
+        if resume is not None:
+            raise ValueError(
+                "stream= and resume= cannot be combined; resume the "
+                "training run first, then stream over the session")
+        if dataset is not None:
+            if isinstance(scale, str) or scale is None:
+                from .experiments.config import ExperimentScale
+                data_scale = (_scale_preset(scale)
+                              if isinstance(scale, str)
+                              else ExperimentScale.quick())
+            else:
+                data_scale = scale
+            split = data_scale.load_split(dataset)
+        session = Session(split if split is not None else graph)
+        session.partition(workers).framework(framework)
+        session.backend(backend).scale(scale)
+        session.configure(alpha=alpha, **cfg)
+        session.train()
+        return session.stream(stream)
     if resume is not None:
         if cfg:
             raise ValueError(
@@ -232,6 +269,10 @@ class Session:
         self._alpha = 0.15
         self._trainer: Optional[DistributedTrainer] = None
         self._result: Optional[TrainResult] = None
+        #: Fingerprint of the split the trained artifacts correspond
+        #: to, and the reason they went stale (set by :meth:`stream`).
+        self._trained_fingerprint: Optional[str] = None
+        self._stale_reason: Optional[str] = None
 
     # -- chainable configuration ----------------------------------------
 
@@ -406,6 +447,10 @@ class Session:
         self._workers = int(meta["num_workers"])
         self._backend = self._trainer.config.backend
         self._result = None
+        from .checkpoint.state import split_fingerprint
+
+        self._trained_fingerprint = split_fingerprint(self._split)
+        self._stale_reason = None
         return self
 
     def resume(self, path) -> TrainResult:
@@ -437,12 +482,102 @@ class Session:
             config, alpha=self._alpha,
             rng=np.random.default_rng(config.seed))
         self._result = self._trainer.train()
+        from .checkpoint.state import split_fingerprint
+
+        self._trained_fingerprint = split_fingerprint(self._split)
+        self._stale_reason = None
         return self._result
 
     @property
     def result(self) -> Optional[TrainResult]:
         """The last :meth:`train` outcome (``None`` before training)."""
         return self._result
+
+    def _check_fresh(self, action: str) -> None:
+        """Refuse to serve artifacts of a graph that has moved on.
+
+        Two staleness sources are checked: an explicit mark left by
+        :meth:`stream` when its arrival plan mutated the graph, and an
+        in-place mutation of the split arrays themselves (the stored
+        fingerprint no longer matches).  Either raises the typed
+        :class:`~repro.stream.StaleArtifactError` so callers can
+        re-train, re-embed (:meth:`stream`), or restore explicitly.
+        """
+        from .checkpoint.state import split_fingerprint
+        from .stream.errors import StaleArtifactError
+
+        if self._stale_reason is not None:
+            raise StaleArtifactError(
+                f"cannot {action}: {self._stale_reason}; re-train on "
+                "the evolved graph (or serve through stream(), whose "
+                "re-embedding tracks mutations)")
+        if (self._trained_fingerprint is not None
+                and split_fingerprint(self._split)
+                != self._trained_fingerprint):
+            raise StaleArtifactError(
+                f"cannot {action}: the split was mutated after "
+                "training (fingerprint mismatch); the trained model "
+                "no longer corresponds to this graph")
+
+    def stream(self, config=None, *, observer=None, **knobs):
+        """Run a deterministic streaming loop over the trained model.
+
+        Replays a seeded :class:`~repro.stream.ArrivalPlan` of edge
+        insertions/deletions/feature drift against the training graph:
+        shard storage updates incrementally (re-partitioning through
+        the session's partition spec when triggers fire), embeddings
+        refresh by affected-vertex frontier or scheduled full pass,
+        and each re-embedding is a gated, versioned hot-swap candidate
+        for a live serving cluster (see :mod:`repro.stream`).
+
+        ``config`` is a :class:`~repro.stream.StreamConfig`, its dict
+        form, or ``None`` with ``**knobs`` as field overrides.
+        Returns the :class:`~repro.stream.StreamReport`; its digest is
+        bit-identical on every backend.  Afterwards the session's
+        static artifacts are *stale* (the graph moved on): ``score()``
+        and ``export()`` raise
+        :class:`~repro.stream.StaleArtifactError` until re-trained.
+        """
+        if self._trainer is None:
+            raise SessionStateError(
+                "this session has no trained model to stream over: "
+                "call train(), or restore a checkpoint with restore() "
+                "/ resume(), before stream()")
+        self._check_fresh("stream")
+        from .partition import PartitionSpec
+        from .stream import StreamConfig, StreamDriver
+
+        if isinstance(config, dict):
+            config = StreamConfig.from_dict(config)
+        elif config is None:
+            config = StreamConfig(**knobs)
+        elif knobs:
+            raise ValueError(
+                "pass overrides inside the StreamConfig, not alongside "
+                f"it (got {sorted(knobs)})")
+        trainer = self._trainer
+        graph = trainer.partitioned.full
+        spec = (trainer.config.partition
+                or PartitionSpec("metis",
+                                 mirror=trainer.partitioned.mirror))
+        driver = StreamDriver(
+            trainer.workers[0].model, graph, spec,
+            num_parts=trainer.partitioned.num_parts, config=config,
+            backend=self._backend if self._backend in
+            ("serial", "thread", "process") else "serial",
+            observer=observer,
+            model_spec=_stream_model_spec(trainer.config,
+                                          graph.feature_dim))
+        report = driver.run()
+        report.train_result = self._result
+        mutated = (report.counters.get("inserted", 0)
+                   + report.counters.get("deleted", 0)
+                   + report.counters.get("drifted", 0))
+        if mutated:
+            self._stale_reason = (
+                f"the graph was mutated by stream() ({mutated} "
+                "applied event(s))")
+        return report
 
     def export(self, path=None):
         """Freeze the trained model into a servable artifact.
@@ -457,6 +592,7 @@ class Session:
                 "this session has no trained model to export: call "
                 "train(), or restore a checkpoint with restore() / "
                 "resume(), before export()")
+        self._check_fresh("export")
         from .serve import export_servable
 
         trainer = self._trainer
@@ -491,6 +627,7 @@ class Session:
                 "this session has no trained model to serve: call "
                 "train(), or restore a checkpoint with restore() / "
                 "resume(), before score()")
+        self._check_fresh("score")
         trainer = self._trainer
         config = trainer.config
         scorer = DistributedScorer(

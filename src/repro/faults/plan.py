@@ -164,6 +164,19 @@ class FaultPlan:
         return [e for e in self.events
                 if e.epoch == epoch and e.round == rnd]
 
+    def at_epoch(self, epoch: int) -> "FaultPlan":
+        """The sub-plan of events scheduled in ``epoch``.
+
+        Used by consumers with their own outer clock — the streaming
+        driver treats ``epoch`` as its *tick* and hands each tick's
+        sub-plan to the epoch-free serving scheduler (which reads only
+        ``round``).  The probabilistic legacy knob does not slice and
+        is dropped deliberately.
+        """
+        return FaultPlan(
+            events=tuple(e for e in self.events if e.epoch == epoch),
+            name=f"{self.name}@{epoch}")
+
     def max_worker(self) -> int:
         """Highest worker index any event targets (-1 when none)."""
         targeted = [e.worker for e in self.events

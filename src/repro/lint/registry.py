@@ -54,6 +54,7 @@ def _load_builtin_rules() -> None:
         rules_persistence,
         rules_robustness,
         rules_serving,
+        rules_streaming,
     )
 
 

@@ -18,7 +18,8 @@ from .astutils import call_name, is_numpy_alias
 from .registry import Rule, register
 
 #: Module paths the rule guards (posix-style, rooted at ``repro``).
-_PERSISTENCE_PREFIXES = ("repro/checkpoint/", "repro/serve/")
+_PERSISTENCE_PREFIXES = ("repro/checkpoint/", "repro/serve/",
+                         "repro/stream/")
 
 #: The one module allowed to perform raw writes: it *implements* the
 #: atomic-write discipline everything else must go through.

@@ -32,6 +32,11 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
 STALENESS_BUCKETS: Tuple[float, ...] = (
     0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+#: Default histogram buckets for hot-swap latency: simulated seconds
+#: between a swap point and the first post-swap completion (streaming).
+SWAP_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.05, 0.1, 0.5, 1.0)
+
 
 class Counter:
     """Monotonically non-decreasing sum (ints or floats).

@@ -26,7 +26,14 @@ Pipeline:
 check (train → export → serve on all backends → compare digests).
 """
 
-from .artifact import ARTIFACT_SCHEMA, ServableArtifact, export_servable
+from .artifact import (
+    ARTIFACT_SCHEMA,
+    ServableArtifact,
+    artifact_from_table,
+    export_servable,
+    materialize_embeddings,
+    predictor_kind_of,
+)
 from .cache import LRUCache
 from .cluster import SERVE_BACKENDS, ServingCluster
 from .requests import (
@@ -59,6 +66,9 @@ __all__ = [
     "ServeReport",
     "ServingCluster",
     "TopKRequest",
+    "artifact_from_table",
     "export_servable",
+    "materialize_embeddings",
+    "predictor_kind_of",
     "synthetic_requests",
 ]

@@ -198,6 +198,90 @@ class ServableArtifact:
                 f"nodes=[{shard_sizes}] predictor={self.predictor_kind}")
 
 
+def predictor_kind_of(model: LinkPredictionModel) -> str:
+    """The exportable decoder kind of ``model`` (``"mlp"``/``"dot"``)."""
+    predictor = model.predictor
+    if isinstance(predictor, DotPredictor):
+        return "dot"
+    if isinstance(predictor, MLPPredictor):
+        return "mlp"
+    raise ValueError(
+        f"cannot export predictor {type(predictor).__name__}; "
+        "expected MLPPredictor or DotPredictor")
+
+
+def materialize_embeddings(model: LinkPredictionModel, graph,
+                           batch_size: int = 512,
+                           batch_ids=None) -> np.ndarray:
+    """Exact full-neighbor embeddings in fixed export batches.
+
+    Nodes are processed in fixed ``[b * batch_size, (b+1) * batch_size)``
+    ranges; ``batch_ids`` selects which batches to compute (all by
+    default).  Because the batch partition never depends on *which*
+    batches are requested, recomputing any subset reproduces exactly
+    the rows a full pass would — the property the streaming
+    re-embedder relies on to patch tables bit-identically.  Returns a
+    ``(num_nodes, embed_dim)`` table; rows of unselected batches are
+    zero.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    num_layers = model.encoder.num_layers
+    # Full-neighbor sampling draws no randomness; the rng argument only
+    # satisfies the seeded-RNG invariant (R001).
+    sampler = NeighborSampler([-1] * num_layers,
+                              rng=np.random.default_rng(0))
+    num_batches = -(-graph.num_nodes // batch_size)
+    if batch_ids is None:
+        batch_ids = range(num_batches)
+    pieces: List[tuple] = []
+    model.eval()
+    try:
+        for b in sorted(set(int(b) for b in batch_ids)):
+            if not 0 <= b < num_batches:
+                raise ValueError(
+                    f"batch id {b} out of range [0, {num_batches})")
+            nodes = np.arange(b * batch_size,
+                              min((b + 1) * batch_size, graph.num_nodes),
+                              dtype=np.int64)
+            comp_graph = sampler.sample(graph, nodes)
+            feats = graph.features[comp_graph.input_nodes]
+            pieces.append((nodes, model.embed(comp_graph, feats).data))
+    finally:
+        model.train()
+    embed_dim = int(pieces[0][1].shape[1]) if pieces else 0
+    table = np.zeros((graph.num_nodes, embed_dim), dtype=np.float64)
+    for nodes, rows in pieces:
+        table[nodes] = rows
+    return table
+
+
+def artifact_from_table(table: np.ndarray, model_version: str,
+                        predictor_kind: str,
+                        predictor_state: Dict[str, np.ndarray],
+                        assignment: np.ndarray,
+                        num_parts: int) -> ServableArtifact:
+    """Shard a ready embedding table into a :class:`ServableArtifact`.
+
+    The streaming path re-materializes tables incrementally and
+    re-shards them after rebalances; this constructor is the shared
+    tail of both that path and :func:`export_servable`.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    shard_nodes = [np.flatnonzero(assignment == p)
+                   for p in range(num_parts)]
+    shard_embeddings = [table[nodes] for nodes in shard_nodes]
+    return ServableArtifact(
+        model_version=model_version,
+        embed_dim=int(table.shape[1]),
+        num_shards=num_parts,
+        predictor_kind=predictor_kind,
+        assignment=assignment,
+        shard_nodes=shard_nodes,
+        shard_embeddings=shard_embeddings,
+        predictor_state=predictor_state)
+
+
 def export_servable(model: LinkPredictionModel,
                     partitioned: PartitionedGraph,
                     batch_size: int = 512) -> ServableArtifact:
@@ -208,50 +292,13 @@ def export_servable(model: LinkPredictionModel,
     same trained weights always export the same artifact — and splits
     the table by shard ownership.
     """
-    if batch_size < 1:
-        raise ValueError("batch_size must be >= 1")
-    predictor = model.predictor
-    if isinstance(predictor, DotPredictor):
-        kind = "dot"
-    elif isinstance(predictor, MLPPredictor):
-        kind = "mlp"
-    else:
-        raise ValueError(
-            f"cannot export predictor {type(predictor).__name__}; "
-            "expected MLPPredictor or DotPredictor")
-    graph = partitioned.full
-    num_layers = model.encoder.num_layers
-    # Full-neighbor sampling draws no randomness; the rng argument only
-    # satisfies the seeded-RNG invariant (R001).
-    sampler = NeighborSampler([-1] * num_layers,
-                              rng=np.random.default_rng(0))
-    table = np.empty((graph.num_nodes, 0), dtype=np.float64)
-    rows: List[np.ndarray] = []
-    model.eval()
-    try:
-        for start in range(0, graph.num_nodes, batch_size):
-            nodes = np.arange(start,
-                              min(start + batch_size, graph.num_nodes),
-                              dtype=np.int64)
-            comp_graph = sampler.sample(graph, nodes)
-            feats = graph.features[comp_graph.input_nodes]
-            rows.append(model.embed(comp_graph, feats).data)
-    finally:
-        model.train()
-    table = np.concatenate(rows, axis=0) if rows else table
-    embed_dim = int(table.shape[1])
+    kind = predictor_kind_of(model)
+    table = materialize_embeddings(model, partitioned.full,
+                                   batch_size=batch_size)
     # Master ownership (node_owner == assignment for node-partitioned
     # layouts; the master replica under vertex cut) keys the shards.
-    assignment = np.asarray(partitioned.node_owner, dtype=np.int64)
-    shard_nodes = [partitioned.owned_nodes(p)
-                   for p in range(partitioned.num_parts)]
-    shard_embeddings = [table[nodes] for nodes in shard_nodes]
-    return ServableArtifact(
-        model_version=model_fingerprint(model),
-        embed_dim=embed_dim,
-        num_shards=partitioned.num_parts,
-        predictor_kind=kind,
-        assignment=assignment,
-        shard_nodes=shard_nodes,
-        shard_embeddings=shard_embeddings,
-        predictor_state=predictor.state_dict())
+    return artifact_from_table(
+        table, model_fingerprint(model), kind,
+        model.predictor.state_dict(),
+        np.asarray(partitioned.node_owner, dtype=np.int64),
+        partitioned.num_parts)

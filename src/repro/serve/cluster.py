@@ -130,10 +130,67 @@ class ServingCluster:
         self.table = artifact.embedding_table()
         self.predictor = artifact.build_predictor()
         self._owned = [set(nodes.tolist()) for nodes in artifact.shard_nodes]
+        #: Registered servables by ``model_version``; requests execute
+        #: against exactly one of these tables, chosen by the version
+        #: pinned at admission time (see :meth:`serve`'s ``swaps``).
+        self._versions: Dict[str, Tuple[np.ndarray, object]] = {
+            artifact.model_version: (self.table, self.predictor)}
+        self.active_version = artifact.model_version
+        self._pinned: Dict[int, str] = {}
         #: Neighbor lists fetched so far (simulation-side value store;
         #: the LRU caches model what a replica would retain/charge).
         self._neighbor_lists: Dict[int, np.ndarray] = {}
         self._closed = False
+
+    # -- versioned artifacts (hot swap) ----------------------------------
+
+    def register_version(self, artifact: ServableArtifact) -> str:
+        """Add a servable the cluster may hot-swap to.
+
+        The artifact must be *layout-compatible* with the serving
+        topology — same shard count, node universe, embedding width
+        and ownership assignment — because a hot swap exchanges only
+        the numeric tables, never the routing.  A rebalanced layout
+        needs a new cluster (a cold swap).  Returns the registered
+        ``model_version``.
+        """
+        if artifact.num_shards != self.num_shards:
+            raise ValueError(
+                f"artifact has {artifact.num_shards} shard(s), cluster "
+                f"serves {self.num_shards}: rebuild the cluster instead "
+                "of hot-swapping")
+        if artifact.num_nodes != self.artifact.num_nodes:
+            raise ValueError(
+                "artifact covers a different node universe "
+                f"({artifact.num_nodes} vs {self.artifact.num_nodes})")
+        if artifact.embed_dim != self.artifact.embed_dim:
+            raise ValueError(
+                f"artifact embed_dim {artifact.embed_dim} != cluster's "
+                f"{self.artifact.embed_dim}")
+        if not np.array_equal(artifact.assignment,
+                              self.artifact.assignment):
+            raise ValueError(
+                "artifact ownership assignment differs from the "
+                "cluster's routing; a rebalance requires a cold swap "
+                "(new ServingCluster)")
+        self._versions[artifact.model_version] = (
+            artifact.embedding_table(), artifact.build_predictor())
+        return artifact.model_version
+
+    def activate(self, version: str) -> None:
+        """Make ``version`` the default for subsequently admitted
+        requests (it must have been :meth:`register_version`-ed)."""
+        if version not in self._versions:
+            raise ValueError(
+                f"unknown model_version {version[:12]!r}…; "
+                "register_version() it first")
+        self.active_version = version
+        self.table, self.predictor = self._versions[version]
+
+    def pinned_version(self, index: int) -> str:
+        """The model version request ``index`` of the last run scored
+        against (admission-time pinning)."""
+        return self._pinned.get(index, self.active_version)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -149,16 +206,35 @@ class ServingCluster:
 
     # -- serving ---------------------------------------------------------
 
-    def serve(self, workload) -> ServeReport:
+    def serve(self, workload, swaps=None) -> ServeReport:
         """Serve one workload to completion; returns the run report.
 
         Each call is an independent run: fresh router state, fresh
-        caches, fresh meter — so repeated calls (and calls on
-        different backends) are directly comparable.
+        caches, fresh meter, fresh neighbor-list store — so repeated
+        calls (and calls on different backends) are directly
+        comparable.
+
+        ``swaps`` hot-swaps model versions mid-workload: a sequence of
+        ``(seq, model_version)`` pairs meaning "requests admitted at
+        sequence ``seq`` or later score against ``model_version``".
+        Pinning is decided at *admission*: a request admitted before a
+        swap point scores entirely against the pre-swap version even
+        when its micro-batch flushes after the swap, and a flush whose
+        batch straddles a swap is split into version-homogeneous
+        groups — no batch ever mixes embedding tables.
         """
         if self._closed:
             raise RuntimeError("ServingCluster is closed")
+        swap_points: List[Tuple[int, str]] = []
+        for seq, version in (swaps or ()):
+            if version not in self._versions:
+                raise ValueError(
+                    f"swap target {str(version)[:12]!r}… is not a "
+                    "registered model_version")
+            swap_points.append((int(seq), str(version)))
+        swap_points.sort(key=lambda p: p[0])
         # Per-run mutable state (phase 1).
+        self._neighbor_lists = {}
         self._meter = CommMeter()
         self._meter.obs = self.observer
         self._embed_caches = [LRUCache(self.embed_cache_capacity)
@@ -172,6 +248,17 @@ class ServingCluster:
             max_batch=self.max_batch, max_delay_s=self.max_delay_s,
             max_queue=self.max_queue, flush_cost=self._flush_cost)
         scheduler.run(workload)
+        # Admission-time version pinning: outcome ``index`` is the
+        # admission sequence, so each request's version is fixed here,
+        # before any numerics run on any backend.
+        self._pinned = {}
+        if swap_points:
+            for outcome in scheduler.outcomes:
+                version = self.active_version
+                for seq, swapped in swap_points:
+                    if outcome.index >= seq:
+                        version = swapped
+                self._pinned[outcome.index] = version
         # Phase 2: numeric execution of the frozen flush plan.
         self._execute(scheduler.outcomes, scheduler.flushes)
         # Phase 3: counters, observability, report.
@@ -273,50 +360,79 @@ class ServingCluster:
                 outcome.topk_scores = topk_scores
 
     def _execute_shard(self, flushes: List[Flush]) -> List[tuple]:
-        """Run one shard's flush plan against the read-only table.
+        """Run one shard's flush plan against the read-only tables.
 
         Returns ``(index, score, topk_nodes, topk_scores)`` rows; pure
-        function of the artifact and the plan, so any backend (or a
-        parent-side fallback) computes identical bytes.
+        function of the registered artifacts and the plan, so any
+        backend (or a parent-side fallback) computes identical bytes.
+
+        Requests are evaluated in version-homogeneous groups: each
+        request uses exactly the table+decoder of the version pinned
+        at its admission, so a flush straddling a hot swap never mixes
+        embedding tables within one batch.
         """
         results: List[tuple] = []
-        num_nodes = self.table.shape[0]
         for flush in flushes:
             exclusions = flush.meta.get("exclusions", {})
-            pair_seqs: List[int] = []
-            pair_u: List[int] = []
-            pair_v: List[int] = []
+            group_order: List[str] = []
+            groups: Dict[str, List[int]] = {}
             for index in flush.seqs:
-                request = self._request_of(flush, index)
-                if isinstance(request, ScoreRequest):
-                    pair_seqs.append(index)
-                    pair_u.append(request.u)
-                    pair_v.append(request.v)
-                else:
-                    excl = np.asarray(
-                        exclusions.get(index, np.empty(0, dtype=np.int64)),
-                        dtype=np.int64)
-                    mask = np.ones(num_nodes, dtype=bool)
-                    mask[request.node] = False
-                    mask[excl[excl < num_nodes]] = False
-                    candidates = np.flatnonzero(mask).astype(np.int64)
-                    h_u = np.repeat(self.table[request.node][None, :],
-                                    candidates.size, axis=0)
-                    scores = self.predictor(
-                        Tensor(h_u), Tensor(self.table[candidates])).data
-                    # Descending score, ties broken by ascending node id
-                    # — a total order, so top-k is deterministic.
-                    order = np.lexsort((candidates, -scores))
-                    top = order[:request.k]
-                    results.append((index, None,
-                                    candidates[top].copy(),
-                                    scores[top].copy()))
-            if pair_seqs:
-                u_rows = self.table[np.array(pair_u, dtype=np.int64)]
-                v_rows = self.table[np.array(pair_v, dtype=np.int64)]
-                scores = self.predictor(Tensor(u_rows), Tensor(v_rows)).data
-                for outcome_index, score in zip(pair_seqs, scores):
-                    results.append((outcome_index, float(score), None, None))
+                version = self._pinned.get(index, self.active_version)
+                if version not in groups:
+                    groups[version] = []
+                    group_order.append(version)
+                groups[version].append(index)
+            for version in group_order:
+                table, predictor = self._versions[version]
+                results.extend(self._execute_group(
+                    flush, groups[version], table, predictor,
+                    exclusions))
+        return results
+
+    def _execute_group(self, flush: Flush, seqs: List[int],
+                       table: np.ndarray, predictor,
+                       exclusions: Dict[int, np.ndarray]) -> List[tuple]:
+        """Evaluate one version-consistent slice of a flush."""
+        results: List[tuple] = []
+        num_nodes = table.shape[0]
+        pair_seqs: List[int] = []
+        pair_u: List[int] = []
+        pair_v: List[int] = []
+        for index in seqs:
+            request = self._request_of(flush, index)
+            if isinstance(request, ScoreRequest):
+                pair_seqs.append(index)
+                pair_u.append(request.u)
+                pair_v.append(request.v)
+            else:
+                excl = np.asarray(
+                    exclusions.get(index, np.empty(0, dtype=np.int64)),
+                    dtype=np.int64)
+                mask = np.ones(num_nodes, dtype=bool)
+                mask[request.node] = False
+                mask[excl[excl < num_nodes]] = False
+                candidates = np.flatnonzero(mask).astype(np.int64)
+                h_u = np.repeat(table[request.node][None, :],
+                                candidates.size, axis=0)
+                scores = predictor(
+                    Tensor(h_u), Tensor(table[candidates])).data
+                # Descending score, ties broken by ascending node id
+                # — a total order, so top-k is deterministic.
+                order = np.lexsort((candidates, -scores))
+                top = order[:request.k]
+                results.append((index, None,
+                                candidates[top].copy(),
+                                scores[top].copy()))
+        # Pairs are scored one request at a time on purpose: BLAS
+        # results can differ in the last bit across batch shapes, so a
+        # flush that splits into version groups at a hot swap would
+        # otherwise score its rows differently from an unswapped run.
+        # Row-at-a-time keeps every score a pure function of
+        # (table, predictor, u, v), independent of batching.
+        for outcome_index, u, v in zip(pair_seqs, pair_u, pair_v):
+            score = predictor(Tensor(table[[u]]),
+                              Tensor(table[[v]])).data[0]
+            results.append((outcome_index, float(score), None, None))
         return results
 
     def _request_of(self, flush: Flush, index: int):

@@ -1,0 +1,34 @@
+"""Typed errors raised by the streaming subsystem.
+
+:class:`StaleArtifactError` lives here (rather than in ``repro.api``)
+because staleness is a *streaming* concept: a session only becomes
+stale when a stream mutated the graph out from under its trained
+model.  ``repro.api`` imports it lazily so the static train/score
+paths pay nothing for the streaming machinery.
+"""
+
+from __future__ import annotations
+
+
+class StreamError(RuntimeError):
+    """Base class for every streaming failure mode."""
+
+
+class StreamStateError(StreamError):
+    """A stream API was called in the wrong lifecycle state (e.g.
+    :meth:`repro.api.Session.stream` before :meth:`~repro.api.Session.
+    train`)."""
+
+
+class StaleArtifactError(StreamError):
+    """The session's trained model no longer matches its graph.
+
+    Raised by :meth:`repro.api.Session.score` and :meth:`repro.api.
+    Session.export` when the split fingerprint captured at training
+    time no longer matches the live graph — either a stream evolved
+    the structure past the snapshot the model was trained on, or the
+    split arrays were mutated in place.  Scoring silently against
+    drifted structure is exactly the failure mode the fingerprint
+    exists to catch; re-train, resume the stream, or serve from the
+    stream's own versioned artifacts instead.
+    """

@@ -261,3 +261,45 @@ class TestCli:
             capture_output=True, text=True,
             env=_env())
         assert proc.returncode == 2
+
+
+class TestR111UnmanagedGraphMutation:
+    """R111: graph state mutates only through the stream delta path."""
+
+    def test_subscript_assignment_to_features_flagged(self):
+        code = "g.features[3] = 1.0\n"
+        assert rule_ids(lint_source(code)) == ["R111"]
+
+    def test_augassign_and_mutating_calls_flagged(self):
+        code = ("g.features[idx] += drift\n"
+                "np.add.at(g.indices, idx, 1)\n"
+                "g.indptr.sort()\n")
+        assert rule_ids(lint_source(code)) == ["R111", "R111", "R111"]
+
+    def test_weights_and_feature_mask_covered(self):
+        code = ("g.weights[e] = 0.0\n"
+                "part._feature_mask[n] = True\n")
+        assert rule_ids(lint_source(code)) == ["R111", "R111"]
+
+    def test_rebinding_is_clean(self):
+        code = ("g.features = np.concatenate([g.features, rows])\n"
+                "g.indices = np.sort(g.indices)\n")
+        assert lint_source(code) == []
+
+    def test_managed_mutation_modules_exempt(self):
+        code = "self.features[event.u] += np.float32(event.scale)\n"
+        assert lint_source(code,
+                           modpath="repro/stream/mutable.py") == []
+        assert lint_source(code,
+                           modpath="repro/stream/shards.py") == []
+        assert rule_ids(lint_source(
+            code, modpath="repro/graph/rogue.py")) == ["R111"]
+
+    def test_unrelated_attrs_and_local_arrays_clean(self):
+        code = ("table[lo:hi] = patch[lo:hi]\n"
+                "self.counts[k] += 1\n"
+                "g.metadata[3] = 'x'\n")
+        assert lint_source(code) == []
+
+    def test_registered_in_catalogue(self):
+        assert get_rule("R111").name == "unmanaged-graph-mutation"

@@ -1,0 +1,145 @@
+"""Facade-level streaming: ``Session.stream`` / ``repro.run(stream=)``.
+
+Covers the staleness contract (satellite b): once ``stream()`` has
+mutated the graph, the session's static artifacts — ``score()`` and
+``export()`` — must refuse with the typed ``StaleArtifactError``, and
+an in-place split mutation trips the same guard via the stored
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import Session
+from repro.graph import split_edges, synthetic_lp_graph
+from repro.stream import StaleArtifactError, StreamConfig, StreamReport
+
+STREAM = dict(ticks=2, seed=7, requests_per_tick=8, inserts_per_tick=3.0,
+              deletes_per_tick=1.0, drifts_per_tick=1.0, embed_batch=16)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(23)
+    return synthetic_lp_graph(num_nodes=90, target_edges=300,
+                              feature_dim=12, num_communities=3, rng=rng)
+
+
+@pytest.fixture(scope="module")
+def split(graph):
+    return split_edges(graph, rng=np.random.default_rng(23))
+
+
+def _trained(graph, split, backend="serial"):
+    return (Session(graph, split).partition(2).framework("psgd_pa")
+            .backend(backend).scale("smoke")
+            .configure(epochs=1, hidden_dim=12))
+
+
+class TestSessionStream:
+    def test_stream_returns_report(self, graph, split):
+        session = _trained(graph, split)
+        session.train()
+        report = session.stream(StreamConfig(**STREAM))
+        assert isinstance(report, StreamReport)
+        assert len(report.records) == STREAM["ticks"]
+        assert report.train_result is session.result
+
+    def test_knobs_and_dict_forms_agree(self, graph, split):
+        session = _trained(graph, split)
+        session.train()
+        a = session.stream(**STREAM)
+        session._stale_reason = None  # same weights, fresh stream
+        b = session.stream(dict(STREAM))
+        assert a.digest() == b.digest()
+
+    def test_config_plus_knobs_rejected(self, graph, split):
+        session = _trained(graph, split)
+        session.train()
+        with pytest.raises(ValueError, match="not alongside"):
+            session.stream(StreamConfig(**STREAM), ticks=3)
+
+    def test_stream_before_train_raises(self, split):
+        with pytest.raises(RuntimeError, match="train"):
+            Session(split).stream(StreamConfig(**STREAM))
+
+    def test_digest_matches_across_backends(self, graph, split):
+        digests = set()
+        for backend in ("serial", "thread"):
+            session = _trained(graph, split, backend)
+            session.train()
+            digests.add(session.stream(StreamConfig(**STREAM)).digest())
+        assert len(digests) == 1
+
+
+class TestStaleness:
+    def test_score_after_stream_raises(self, graph, split):
+        session = _trained(graph, split)
+        session.train()
+        session.stream(StreamConfig(**STREAM))
+        with pytest.raises(StaleArtifactError, match="mutated by"):
+            session.score(np.array([[0, 1]]))
+
+    def test_export_after_stream_raises(self, graph, split):
+        session = _trained(graph, split)
+        session.train()
+        session.stream(StreamConfig(**STREAM))
+        with pytest.raises(StaleArtifactError, match="export"):
+            session.export()
+
+    def test_score_and_export_work_when_fresh(self, graph, split):
+        session = _trained(graph, split)
+        session.train()
+        inf = session.score(np.array([[0, 1], [2, 3]]))
+        assert inf.scores.shape == (2,)
+        artifact = session.export()
+        assert artifact.num_nodes == graph.num_nodes
+
+    def test_in_place_split_mutation_detected(self, graph):
+        split = split_edges(graph, rng=np.random.default_rng(23))
+        session = _trained(graph, split)
+        session.train()
+        split.train_pos[0, 0] ^= 1  # mutate under the session's feet
+        try:
+            with pytest.raises(StaleArtifactError, match="fingerprint"):
+                session.score(np.array([[0, 1]]))
+        finally:
+            split.train_pos[0, 0] ^= 1
+
+    def test_no_op_stream_leaves_session_fresh(self, graph, split):
+        quiet = dict(STREAM, inserts_per_tick=0.0, deletes_per_tick=0.0,
+                     drifts_per_tick=0.0)
+        session = _trained(graph, split)
+        session.train()
+        report = session.stream(StreamConfig(**quiet))
+        applied = (report.counters["inserted"] + report.counters["deleted"]
+                   + report.counters["drifted"])
+        assert applied == 0
+        session.score(np.array([[0, 1]]))  # still servable
+
+
+class TestRunStream:
+    def test_run_stream_returns_report(self, split):
+        report = repro.run("psgd_pa", split=split, workers=2,
+                           scale="smoke", hidden_dim=12, epochs=1,
+                           stream=StreamConfig(**STREAM))
+        assert isinstance(report, StreamReport)
+        assert report.train_result is not None
+        assert report.train_result.num_workers == 2
+
+    def test_run_stream_matches_session_path(self, graph, split):
+        via_run = repro.run("psgd_pa", split=split, workers=2,
+                            scale="smoke", hidden_dim=12, epochs=1,
+                            stream=dict(STREAM))
+        session = _trained(graph, split)
+        session.train()
+        via_session = session.stream(StreamConfig(**STREAM))
+        assert via_run.digest() == via_session.digest()
+
+    def test_run_stream_rejects_resume_combo(self, split, tmp_path):
+        with pytest.raises(ValueError, match="cannot be combined"):
+            repro.run("psgd_pa", split=split, workers=2,
+                      stream=dict(STREAM), resume=str(tmp_path))

@@ -1,0 +1,150 @@
+"""Serving-path version consistency under mid-workload hot swaps.
+
+Regression suite for the torn-batch bug class: a request admitted
+before a swap point must score *entirely* against the pre-swap
+version — even when its micro-batch flushes after the swap — and a
+flush whose batch straddles the swap must split into
+version-homogeneous groups rather than mixing embedding tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import synthetic_lp_graph
+from repro.nn.models import build_model
+from repro.serve import ServingCluster, OpenLoopWorkload, synthetic_requests
+from repro.stream import MutableGraph, Reembedder, StreamEvent
+
+NODES, DIM = 40, 6
+SWAP_SEQ = 12
+NUM_REQUESTS = 30
+
+
+def _artifacts():
+    """Two layout-compatible artifacts with genuinely different tables."""
+    graph = synthetic_lp_graph(NODES, 120, feature_dim=DIM,
+                               rng=np.random.default_rng(4))
+    model = build_model("sage", DIM, hidden_dim=8, num_layers=2, seed=4)
+    assignment = np.arange(NODES, dtype=np.int64) % 3
+    reembedder = Reembedder(model, batch_size=8)
+    reembedder.full_refresh(graph)
+    old = reembedder.make_artifact(graph, assignment, 3)
+    mutable = MutableGraph(graph)
+    delta = mutable.apply(
+        [StreamEvent("drift", 0, u=n, scale=0.8) for n in range(8)], 0)
+    snap = mutable.snapshot()
+    reembedder.frontier_refresh(snap, delta.touched_nodes())
+    new = reembedder.make_artifact(snap, assignment, 3)
+    assert old.model_version != new.model_version
+    assert not np.array_equal(old.embedding_table(),
+                              new.embedding_table())
+    return old, new
+
+
+def _workload(seed=4):
+    requests = synthetic_requests(NUM_REQUESTS, NODES, seed=seed,
+                                  topk_fraction=0.0)
+    return OpenLoopWorkload(requests, rate_rps=5000.0, seed=seed + 13)
+
+
+def _serve(artifact, swaps=None, register=None, backend="serial"):
+    cluster = ServingCluster(artifact, backend=backend, max_batch=5,
+                             max_delay_s=5e-3, max_queue=64)
+    if register is not None:
+        cluster.register_version(register)
+    with cluster:
+        report = cluster.serve(_workload(), swaps=swaps)
+    return cluster, report
+
+
+class TestAdmissionTimePinning:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_pre_swap_requests_score_against_old_version(self, backend):
+        old, new = _artifacts()
+        _, baseline_old = _serve(old, backend=backend)
+        _, baseline_new = _serve(new, backend=backend)
+        cluster, swapped = _serve(
+            old, swaps=[(SWAP_SEQ, new.model_version)], register=new,
+            backend=backend)
+        for outcome in swapped.outcomes:
+            if outcome.status != "ok":
+                continue
+            baseline = (baseline_old if outcome.index < SWAP_SEQ
+                        else baseline_new)
+            expected = baseline.outcomes[outcome.index].score
+            assert outcome.score == expected, (
+                f"request {outcome.index} scored against the wrong "
+                f"version (pinned "
+                f"{cluster.pinned_version(outcome.index)[:8]})")
+
+    def test_pinning_is_recorded_per_request(self):
+        old, new = _artifacts()
+        cluster, report = _serve(old,
+                                 swaps=[(SWAP_SEQ, new.model_version)],
+                                 register=new)
+        for outcome in report.outcomes:
+            pinned = cluster.pinned_version(outcome.index)
+            expected = (old.model_version if outcome.index < SWAP_SEQ
+                        else new.model_version)
+            assert pinned == expected
+
+    def test_no_swap_is_byte_identical_to_legacy_path(self):
+        """A swap-free serve must not be perturbed by the pinning
+        machinery at all."""
+        old, _ = _artifacts()
+        _, a = _serve(old)
+        _, b = _serve(old, swaps=[])
+        assert a.digest() == b.digest()
+
+
+class TestTornBatches:
+    def test_straddling_flush_splits_into_homogeneous_groups(self,
+                                                             monkeypatch):
+        old, new = _artifacts()
+        flushes = []
+        original = ServingCluster._execute
+
+        def spy(self, outcomes, batch_flushes):
+            flushes.extend(batch_flushes)
+            return original(self, outcomes, batch_flushes)
+
+        monkeypatch.setattr(ServingCluster, "_execute", spy)
+        cluster, _ = _serve(old, swaps=[(SWAP_SEQ, new.model_version)],
+                            register=new)
+        mixed = [f for f in flushes
+                 if {cluster.pinned_version(i) for i in f.seqs}
+                 == {old.model_version, new.model_version}]
+        assert mixed, ("no flush straddled the swap point; regression "
+                       "coverage needs one — tune SWAP_SEQ/max_batch")
+
+    def test_swap_target_must_be_registered(self):
+        old, new = _artifacts()
+        cluster = ServingCluster(old, max_batch=4)
+        with pytest.raises(ValueError):
+            cluster.serve(_workload(),
+                          swaps=[(SWAP_SEQ, new.model_version)])
+
+    def test_incompatible_layout_rejected_at_registration(self):
+        old, _ = _artifacts()
+        other = synthetic_lp_graph(NODES, 120, feature_dim=DIM,
+                                   rng=np.random.default_rng(9))
+        model = build_model("sage", DIM, hidden_dim=8, num_layers=2,
+                            seed=9)
+        reembedder = Reembedder(model, batch_size=8)
+        reembedder.full_refresh(other)
+        moved = reembedder.make_artifact(
+            other, (np.arange(NODES, dtype=np.int64) + 1) % 3, 3)
+        cluster = ServingCluster(old, max_batch=4)
+        with pytest.raises(ValueError):
+            cluster.register_version(moved)
+
+    def test_activate_switches_default_version(self):
+        old, new = _artifacts()
+        cluster = ServingCluster(old, max_batch=4)
+        cluster.register_version(new)
+        cluster.activate(new.model_version)
+        assert cluster.active_version == new.model_version
+        np.testing.assert_array_equal(cluster.table,
+                                      new.embedding_table())
+        with pytest.raises(ValueError):
+            cluster.activate("not-registered")

@@ -1,0 +1,95 @@
+"""MutableGraph: delta application, snapshots, durable state."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+from repro.stream import ArrivalPlan, MutableGraph, StreamEvent
+
+
+def _featured(num_nodes=8, dim=3):
+    edges = [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]]
+    features = np.arange(num_nodes * dim,
+                         dtype=np.float32).reshape(num_nodes, dim)
+    return Graph.from_edges(num_nodes, edges, features=features)
+
+
+class TestApply:
+    def test_insert_delete_drift(self):
+        mutable = MutableGraph(_featured())
+        delta = mutable.apply([
+            StreamEvent("insert", 0, u=5, v=7),
+            StreamEvent("delete", 0, u=0, v=1),
+            StreamEvent("drift", 0, u=2, scale=0.5),
+        ], tick=0)
+        assert delta.inserted.tolist() == [[5, 7]]
+        assert delta.deleted.tolist() == [[0, 1]]
+        assert delta.drifted.tolist() == [2]
+        assert delta.skipped == 0
+        snap = mutable.snapshot()
+        assert snap.num_edges == 5  # 5 - 1 + 1
+        assert np.allclose(snap.features[2],
+                           _featured().features[2] + 0.5)
+
+    def test_duplicate_insert_and_missing_delete_skip(self):
+        mutable = MutableGraph(_featured())
+        delta = mutable.apply([
+            StreamEvent("insert", 0, u=0, v=1),   # already present
+            StreamEvent("delete", 0, u=6, v=7),   # never existed
+        ], tick=0)
+        assert delta.is_empty()
+        assert delta.skipped == 2
+
+    def test_touched_nodes_cover_all_event_endpoints(self):
+        mutable = MutableGraph(_featured())
+        delta = mutable.apply([
+            StreamEvent("insert", 0, u=5, v=7),
+            StreamEvent("drift", 0, u=1, scale=0.1),
+        ], tick=0)
+        assert delta.touched_nodes().tolist() == [1, 5, 7]
+
+    def test_snapshot_is_isolated(self):
+        mutable = MutableGraph(_featured())
+        before = mutable.snapshot()
+        mutable.apply([StreamEvent("drift", 0, u=0, scale=1.0)], tick=0)
+        assert before.features[0, 0] == _featured().features[0, 0]
+
+    def test_fingerprint_tracks_every_mutation_kind(self):
+        mutable = MutableGraph(_featured())
+        prints = {mutable.fingerprint()}
+        for event in (StreamEvent("insert", 0, u=5, v=7),
+                      StreamEvent("delete", 0, u=0, v=1),
+                      StreamEvent("drift", 0, u=3, scale=0.2)):
+            mutable.apply([event], tick=0)
+            prints.add(mutable.fingerprint())
+        assert len(prints) == 4
+
+    def test_replaying_plan_reproduces_fingerprint(self):
+        plan = ArrivalPlan.generate(8, ticks=4, seed=3)
+        runs = []
+        for _ in range(2):
+            mutable = MutableGraph(_featured())
+            for tick in range(4):
+                mutable.apply(plan.events_at(tick), tick)
+            runs.append(mutable.fingerprint())
+        assert runs[0] == runs[1]
+
+
+class TestState:
+    def test_state_arrays_round_trip(self):
+        mutable = MutableGraph(_featured())
+        mutable.apply([StreamEvent("insert", 0, u=5, v=7),
+                       StreamEvent("drift", 0, u=2, scale=-0.5)], tick=0)
+        clone = MutableGraph.from_state_arrays(mutable.state_arrays())
+        assert clone.fingerprint() == mutable.fingerprint()
+        a, b = clone.snapshot(), mutable.snapshot()
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.features, b.features)
+
+    def test_featureless_drift_is_skipped_not_applied(self):
+        bare = Graph.from_edges(4, [[0, 1], [1, 2]])
+        delta = MutableGraph(bare).apply(
+            [StreamEvent("drift", 0, u=0, scale=1.0)], tick=0)
+        assert delta.skipped == 1
+        assert delta.drifted.size == 0

@@ -1,0 +1,69 @@
+"""ArrivalPlan: seeded, replayable edge-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.stream import STREAM_EVENT_KINDS, ArrivalPlan, StreamEvent
+
+
+class TestStreamEvent:
+    def test_kinds_and_validation(self):
+        assert set(STREAM_EVENT_KINDS) == {"insert", "delete", "drift"}
+        event = StreamEvent("insert", tick=0, u=3, v=1)
+        assert event.edge == (1, 3)
+        with pytest.raises(ValueError):
+            StreamEvent("insert", tick=0, u=2, v=2)  # self-loop
+        with pytest.raises(ValueError):
+            StreamEvent("drift", tick=0, u=1, scale=0.0)
+        with pytest.raises(ValueError):
+            StreamEvent("explode", tick=0, u=1, v=2)
+
+    def test_round_trip(self):
+        event = StreamEvent("drift", tick=4, u=7, scale=-0.25)
+        assert StreamEvent.from_dict(event.to_dict()) == event
+
+
+class TestArrivalPlan:
+    def test_generate_is_deterministic(self):
+        a = ArrivalPlan.generate(50, ticks=6, seed=11)
+        b = ArrivalPlan.generate(50, ticks=6, seed=11)
+        assert a.events == b.events
+        c = ArrivalPlan.generate(50, ticks=6, seed=12)
+        assert a.events != c.events
+
+    def test_per_tick_events_independent_of_horizon(self):
+        """The (seed, tick) trick: tick t's events don't depend on how
+        many ticks the plan covers."""
+        short = ArrivalPlan.generate(50, ticks=3, seed=5)
+        long = ArrivalPlan.generate(50, ticks=8, seed=5)
+        for tick in range(3):
+            assert short.events_at(tick) == long.events_at(tick)
+
+    def test_events_within_bounds(self):
+        plan = ArrivalPlan.generate(30, ticks=5, seed=2,
+                                    inserts_per_tick=6.0)
+        for event in plan.events:
+            assert 0 <= event.tick < 5
+            assert 0 <= event.u < 30
+            if event.kind != "drift":
+                assert 0 <= event.v < 30 and event.u != event.v
+
+    def test_counts_and_round_trip(self):
+        plan = ArrivalPlan.generate(40, ticks=4, seed=9)
+        counts = plan.counts()
+        assert sum(counts.values()) == len(plan.events)
+        clone = ArrivalPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert not plan.is_empty()
+
+    def test_validation_rejects_out_of_range(self):
+        event = StreamEvent("insert", tick=9, u=0, v=1)
+        with pytest.raises(ValueError):
+            ArrivalPlan(num_nodes=10, ticks=3, events=(event,))
+        bad_node = StreamEvent("insert", tick=0, u=0, v=99)
+        with pytest.raises(ValueError):
+            ArrivalPlan(num_nodes=10, ticks=3, events=(bad_node,))
+
+    def test_describe_mentions_counts(self):
+        plan = ArrivalPlan.generate(40, ticks=2, seed=1)
+        assert "tick" in plan.describe()

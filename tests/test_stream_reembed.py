@@ -1,0 +1,119 @@
+"""Reembedder: frontier patching must equal a full refresh bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.graph import synthetic_lp_graph
+from repro.nn.models import build_model
+from repro.stream import (
+    ArrivalPlan,
+    MutableGraph,
+    Reembedder,
+    affected_frontier,
+)
+from repro.stream.errors import StreamStateError
+
+
+def _setup(seed=0, nodes=40, edges=120, dim=6):
+    graph = synthetic_lp_graph(nodes, edges, feature_dim=dim,
+                               rng=np.random.default_rng(seed))
+    model = build_model("sage", dim, hidden_dim=8, num_layers=2,
+                        seed=seed)
+    return graph, model
+
+
+class TestAffectedFrontier:
+    def test_expands_by_hops_over_union_adjacency(self):
+        old, _ = _setup()
+        mutable = MutableGraph(old)
+        zero_hop = affected_frontier(old, old, [3], hops=0)
+        assert zero_hop.tolist() == [3]
+        one_hop = affected_frontier(old, old, [3], hops=1)
+        expected = {3} | set(old.neighbors(3).tolist())
+        assert set(one_hop.tolist()) == expected
+
+    def test_deleted_edge_still_conducts(self):
+        """Both endpoints of a removed edge must stay in the frontier
+        expansion — the old adjacency participates in the union."""
+        old, _ = _setup()
+        u, v = (int(x) for x in old.edge_list()[0])
+        from repro.stream import StreamEvent
+        mutable = MutableGraph(old)
+        mutable.apply([StreamEvent("delete", 0, u=u, v=v)], 0)
+        new = mutable.snapshot()
+        frontier = affected_frontier(old, new, [u], hops=1)
+        assert v in frontier.tolist()
+
+    def test_empty_touched_set(self):
+        old, _ = _setup()
+        assert affected_frontier(old, old, [], hops=2).size == 0
+
+
+class TestRefreshEquivalence:
+    def test_frontier_patch_is_bitwise_equal_to_full(self):
+        graph, model = _setup()
+        plan = ArrivalPlan.generate(graph.num_nodes, 4, seed=7,
+                                    inserts_per_tick=5.0,
+                                    deletes_per_tick=2.0,
+                                    drifts_per_tick=2.0)
+        mutable = MutableGraph(graph)
+        incremental = Reembedder(model, batch_size=8)
+        incremental.full_refresh(mutable.snapshot())
+        for tick in range(4):
+            delta = mutable.apply(plan.events_at(tick), tick)
+            snap = mutable.snapshot()
+            incremental.frontier_refresh(snap, delta.touched_nodes())
+            full = Reembedder(model, batch_size=8)
+            full.full_refresh(snap)
+            np.testing.assert_array_equal(incremental.table, full.table)
+            assert incremental.version(snap) == full.version(snap)
+
+    def test_untouched_tick_recomputes_nothing(self):
+        graph, model = _setup()
+        reembedder = Reembedder(model, batch_size=8)
+        reembedder.full_refresh(graph)
+        before = reembedder.rows_recomputed
+        rows = reembedder.frontier_refresh(graph, [])
+        assert rows == 0
+        assert reembedder.rows_recomputed == before
+
+    def test_first_frontier_call_falls_back_to_full(self):
+        graph, model = _setup()
+        reembedder = Reembedder(model, batch_size=8)
+        rows = reembedder.frontier_refresh(graph, [0])
+        assert rows == graph.num_nodes
+
+
+class TestArtifacts:
+    def test_version_tracks_table_and_structure(self):
+        graph, model = _setup()
+        reembedder = Reembedder(model, batch_size=8)
+        reembedder.full_refresh(graph)
+        v1 = reembedder.version(graph)
+        from repro.stream import StreamEvent
+        mutable = MutableGraph(graph)
+        delta = mutable.apply([StreamEvent("drift", 0, u=0, scale=0.5)],
+                              0)
+        snap = mutable.snapshot()
+        reembedder.frontier_refresh(snap, delta.touched_nodes())
+        assert reembedder.version(snap) != v1
+
+    def test_make_artifact_checksums(self):
+        graph, model = _setup()
+        reembedder = Reembedder(model, batch_size=8)
+        reembedder.full_refresh(graph)
+        assignment = np.zeros(graph.num_nodes, dtype=np.int64)
+        assignment[graph.num_nodes // 2:] = 1
+        artifact = reembedder.make_artifact(graph, assignment, 2)
+        assert artifact.model_version == reembedder.version(graph)
+        np.testing.assert_array_equal(artifact.embedding_table(),
+                                      reembedder.table)
+
+    def test_methods_require_a_table(self):
+        graph, model = _setup()
+        reembedder = Reembedder(model)
+        with pytest.raises(StreamStateError):
+            reembedder.version(graph)
+        with pytest.raises(StreamStateError):
+            reembedder.make_artifact(
+                graph, np.zeros(graph.num_nodes, dtype=np.int64), 1)

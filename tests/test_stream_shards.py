@@ -1,0 +1,159 @@
+"""ShardedState: incremental shard patching vs. from-scratch builds."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.comm import CommMeter, feature_nbytes
+from repro.graph import synthetic_lp_graph
+from repro.partition.partitioned import PartitionedGraph
+from repro.partition.registry import PartitionSpec
+from repro.stream import ArrivalPlan, MutableGraph, ShardedState
+from repro.stream.errors import StreamError
+
+
+def _graph(seed=0, nodes=40, edges=120):
+    return synthetic_lp_graph(nodes, edges, feature_dim=6,
+                              rng=np.random.default_rng(seed))
+
+
+def _churn(spec, ticks=5, seed=3):
+    """Apply a generated plan to both a MutableGraph and ShardedState."""
+    graph = _graph()
+    mutable = MutableGraph(graph)
+    sharded = ShardedState(mutable.snapshot(), spec, 3, seed=seed)
+    plan = ArrivalPlan.generate(graph.num_nodes, ticks, seed,
+                                inserts_per_tick=6.0,
+                                deletes_per_tick=2.0)
+    for tick in range(ticks):
+        delta = mutable.apply(plan.events_at(tick), tick)
+        sharded.apply_delta(delta)
+    return mutable, sharded
+
+
+def _part_edge_sets(partitioned):
+    return [
+        {tuple(int(x) for x in row) for row in part.edge_list()}
+        for part in partitioned.parts
+    ]
+
+
+class TestNodeLayoutsExact:
+    """Between rebalances the assignment is frozen, so incremental
+    application must equal a from-scratch build on that assignment."""
+
+    @pytest.mark.parametrize("mirror", [False, True])
+    def test_incremental_equals_scratch_build(self, mirror):
+        mutable, sharded = _churn(PartitionSpec("metis", mirror=mirror))
+        snap = mutable.snapshot()
+        incremental = sharded.as_partitioned(snap)
+        scratch = PartitionedGraph.build(snap, sharded.assignment,
+                                         3, mirror)
+        assert _part_edge_sets(incremental) == _part_edge_sets(scratch)
+        for p in range(3):
+            assert np.array_equal(incremental.local_feature_nodes[p],
+                                  scratch.local_feature_nodes[p])
+
+    def test_clean_shards_reuse_cached_csr(self):
+        mutable, sharded = _churn(PartitionSpec("metis", mirror=True),
+                                  ticks=2)
+        snap = mutable.snapshot()
+        first = sharded.as_partitioned(snap)
+        again = sharded.as_partitioned(snap)
+        assert all(a is b for a, b in zip(first.parts, again.parts))
+
+
+class TestVertexCut:
+    def test_cover_stays_total_and_disjoint(self):
+        mutable, sharded = _churn(PartitionSpec("vertex_cut"))
+        snap = mutable.snapshot()
+        current = {tuple(int(x) for x in row)
+                   for row in snap.edge_list()}
+        stored = [s for s in sharded.shard_edges]
+        assert set().union(*stored) == current
+        assert sum(len(s) for s in stored) == len(current)
+        assert int(sharded._owned_counts.sum()) == len(current)
+
+    def test_online_ownership_is_deterministic(self):
+        _, a = _churn(PartitionSpec("vertex_cut"), seed=3)
+        _, b = _churn(PartitionSpec("vertex_cut"), seed=3)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_rebalance_restores_scratch_equality(self):
+        mutable, sharded = _churn(PartitionSpec("vertex_cut"))
+        snap = mutable.snapshot()
+        sharded.rebalance(snap, tick=7)
+        fresh = sharded.spec.build(
+            snap, 3, rng=np.random.default_rng((sharded.seed, 7, 131)))
+        rebuilt = sharded.as_partitioned(snap)
+        assert _part_edge_sets(rebuilt) == _part_edge_sets(fresh)
+        assert np.array_equal(rebuilt.edge_assignment,
+                              fresh.edge_assignment)
+
+
+class TestTriggersAndMeter:
+    def test_needs_rebalance_thresholds(self):
+        _, sharded = _churn(PartitionSpec("metis"))
+        assert sharded.needs_rebalance(0.0, 0.0) is None  # disarmed
+        reason = sharded.needs_rebalance(1.0 - 1e-9, 0.0)
+        assert reason is not None and "edge_imbalance" in reason
+        reason = sharded.needs_rebalance(0.0, 0.5)
+        assert reason is not None and "replication_factor" in reason
+
+    def test_imbalance_and_replication_values(self):
+        _, sharded = _churn(PartitionSpec("metis", mirror=True))
+        assert sharded.edge_imbalance() >= 1.0
+        assert sharded.replication_factor() >= 1.0
+
+    def test_delta_charges_meter(self):
+        graph = _graph()
+        mutable = MutableGraph(graph)
+        sharded = ShardedState(mutable.snapshot(),
+                               PartitionSpec("metis", mirror=True),
+                               3, seed=1)
+        plan = ArrivalPlan.generate(graph.num_nodes, 1, seed=5,
+                                    inserts_per_tick=8.0,
+                                    drifts_per_tick=4.0)
+        delta = mutable.apply(plan.events_at(0), 0)
+        meter = CommMeter()
+        sharded.apply_delta(delta, meter)
+        total = meter.total()
+        if delta.inserted.size or delta.deleted.size:
+            assert total.structure_bytes > 0
+        if delta.drifted.size:
+            rows = sum(len(sharded.replicas_of(int(n)))
+                       for n in delta.drifted)
+            assert total.feature_bytes == feature_nbytes(
+                rows, graph.feature_dim)
+
+    def test_rebalance_charges_migration(self):
+        mutable, sharded = _churn(PartitionSpec("metis", mirror=True))
+        meter = CommMeter()
+        tally = sharded.rebalance(mutable.snapshot(), tick=9, meter=meter)
+        assert sharded.rebalances == 1
+        assert tally["moved_edges"] >= 0
+        if tally["moved_edges"]:
+            assert meter.total().structure_bytes > 0
+
+
+class TestConsistencyAndState:
+    def test_out_of_sync_snapshot_rejected(self):
+        mutable, sharded = _churn(PartitionSpec("metis", mirror=True),
+                                  ticks=2)
+        plan = ArrivalPlan.generate(mutable.snapshot().num_nodes, 5,
+                                    seed=99, inserts_per_tick=6.0)
+        mutable.apply(plan.events_at(4), 4)  # not applied to shards
+        with pytest.raises(StreamError):
+            sharded.as_partitioned(mutable.snapshot())
+
+    @pytest.mark.parametrize("spec", [PartitionSpec("metis"),
+                                      PartitionSpec("metis", mirror=True),
+                                      PartitionSpec("vertex_cut")],
+                             ids=["plain", "mirror", "vertex_cut"])
+    def test_state_round_trip_preserves_fingerprint(self, spec):
+        mutable, sharded = _churn(spec)
+        snap = mutable.snapshot()
+        clone = ShardedState.from_state_arrays(
+            sharded.state_arrays(), snap, spec, 3, seed=3)
+        assert clone.fingerprint() == sharded.fingerprint()
+        assert _part_edge_sets(clone.as_partitioned(snap)) == \
+            _part_edge_sets(sharded.as_partitioned(snap))
